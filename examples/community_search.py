@@ -1,0 +1,49 @@
+"""Community search on a word-association network (the paper's case study).
+
+Reproduces the Fig 9 comparison: the k_max-truss recovers a semantically
+coherent community; the maximum clique is too strict (not noise-resistant,
+misses words that lack one direct association); the maximum core is too
+loose (sprawls across communities and noise).
+
+Run:  python examples/community_search.py
+"""
+
+from repro import max_truss
+from repro.analysis import maximum_clique, maximum_core
+from repro.graph.generators import word_association
+
+
+def show(title, words) -> None:
+    print(f"{title} ({len(words)} words):")
+    print("   " + ", ".join(sorted(words)))
+    themes = {w.rsplit("_", 1)[0] for w in words}
+    print(f"   themes touched: {sorted(themes)}\n")
+
+
+def main() -> None:
+    graph, labels = word_association(
+        num_communities=3, community_size=10, intra_missing=0.15,
+        noise_words=40, seed=1,
+    )
+    print(f"word-association network: {graph.n} words, {graph.m} associations\n")
+
+    # --- the paper's model: k_max-truss ---
+    result = max_truss(graph, method="semi-lazy-update")
+    truss_words = [labels[v] for v in result.truss_vertices()]
+    show(f"{result.k_max}-truss (k_max-truss)", truss_words)
+
+    # --- comparator 1: maximum clique (too strict) ---
+    clique_words = [labels[v] for v in maximum_clique(graph)]
+    show("maximum clique", clique_words)
+
+    # --- comparator 2: maximum core (too loose) ---
+    core_words = [labels[v] for v in maximum_core(graph)]
+    show("maximum k-core", core_words)
+
+    print("Reading the output: the truss covers whole themed communities even")
+    print("where two member words lack a direct edge (noise-resistance); the")
+    print("clique stops at directly-connected words; the core over-expands.")
+
+
+if __name__ == "__main__":
+    main()

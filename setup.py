@@ -1,0 +1,4 @@
+"""Setup shim for environments installing with --no-use-pep517."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Analyses supporting Exp-5/6, the case study, and the FPT motivation."""
+
+from .degeneracy import degeneracy, degeneracy_ordering, kmax_vs_degeneracy_gap, compare
+from .cliques import maximum_clique, clique_number, maximum_core
+from .clique_listing import (
+    maximal_cliques,
+    list_k_cliques,
+    count_k_cliques,
+    triangle_list,
+)
+from .components import (
+    DisjointSet,
+    vertex_connected_components,
+    triangle_connected_components,
+    split_max_truss,
+)
+from .statistics import GraphStats, graph_stats, kmax_distribution, degeneracy_comparison
+from .robustness import AttackTrace, edge_deletion_attack, resilience_summary
+from .hierarchy import TrussHierarchy
+
+__all__ = [
+    "degeneracy",
+    "degeneracy_ordering",
+    "kmax_vs_degeneracy_gap",
+    "compare",
+    "maximum_clique",
+    "clique_number",
+    "maximum_core",
+    "maximal_cliques",
+    "list_k_cliques",
+    "count_k_cliques",
+    "triangle_list",
+    "DisjointSet",
+    "vertex_connected_components",
+    "triangle_connected_components",
+    "split_max_truss",
+    "GraphStats",
+    "graph_stats",
+    "kmax_distribution",
+    "degeneracy_comparison",
+    "AttackTrace",
+    "edge_deletion_attack",
+    "resilience_summary",
+    "TrussHierarchy",
+]

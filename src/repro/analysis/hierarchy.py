@@ -1,0 +1,132 @@
+"""The truss hierarchy: every k-class of a graph as one queryable object.
+
+Truss decomposition induces a nested hierarchy (Definition 4's k-classes):
+``k-truss edges = union of classes >= k``, and the communities at level k
+refine those at k − 1. :class:`TrussHierarchy` materialises the whole
+structure once (one decomposition) and then answers, in memory and O(1)-ish:
+
+* ``trussness(u, v)`` — τ of one edge;
+* ``k_truss_edges(k)`` — the maximal k-truss edge set;
+* ``communities(k)`` — its connected components (Definition 2's view);
+* ``containment_chain(u, v)`` — the community of the edge at every level
+  from 3 up to its trussness (the "zoom-in" navigation community-search
+  UIs expose);
+* ``level_profile()`` — class sizes per k (the decomposition's shape).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..baselines.inmemory import truss_decomposition
+from ..graph.memgraph import Graph
+from .components import vertex_connected_components
+
+EdgePair = Tuple[int, int]
+
+
+class TrussHierarchy:
+    """A frozen, fully-indexed truss decomposition of one graph."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._trussness = (
+            truss_decomposition(graph) if graph.m else np.zeros(0, dtype=np.int64)
+        )
+        self.k_max = int(self._trussness.max()) if graph.m else 0
+        # Edge ids sorted by descending trussness for fast level slicing.
+        self._order = np.argsort(self._trussness)[::-1]
+        self._sorted_values = self._trussness[self._order]
+        self._community_cache: Dict[int, List[List[EdgePair]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # point queries
+    # ------------------------------------------------------------------ #
+
+    def trussness(self, u: int, v: int) -> int:
+        """τ((u, v)); raises ``KeyError`` for absent edges."""
+        eid = self.graph.edge_id(u, v)
+        if eid < 0:
+            raise KeyError(f"edge ({u}, {v}) not in graph")
+        return int(self._trussness[eid])
+
+    def trussness_values(self) -> np.ndarray:
+        """The full per-edge trussness array (copy)."""
+        return self._trussness.copy()
+
+    # ------------------------------------------------------------------ #
+    # level queries
+    # ------------------------------------------------------------------ #
+
+    def _edge_ids_at_least(self, k: int) -> np.ndarray:
+        # sorted_values is descending; count entries >= k via the
+        # ascending reverse view.
+        ascending = self._sorted_values[::-1]
+        below = int(np.searchsorted(ascending, k, side="left"))
+        count = len(ascending) - below
+        return self._order[:count]
+
+    def k_truss_edges(self, k: int) -> List[EdgePair]:
+        """Edges of the maximal k-truss (classes ``>= k``), sorted."""
+        if k < 2:
+            raise ValueError("k must be at least 2")
+        ids = self._edge_ids_at_least(k)
+        return sorted(
+            (int(self.graph.edges[eid, 0]), int(self.graph.edges[eid, 1]))
+            for eid in ids
+        )
+
+    def k_class_edges(self, k: int) -> List[EdgePair]:
+        """Edges with trussness exactly *k* (Definition 4), sorted."""
+        ids = np.nonzero(self._trussness == k)[0]
+        return sorted(
+            (int(self.graph.edges[eid, 0]), int(self.graph.edges[eid, 1]))
+            for eid in ids
+        )
+
+    def communities(self, k: int) -> List[List[EdgePair]]:
+        """Connected components of the k-truss (cached per level)."""
+        if k not in self._community_cache:
+            self._community_cache[k] = vertex_connected_components(
+                self.k_truss_edges(k)
+            )
+        return self._community_cache[k]
+
+    def level_profile(self) -> Dict[int, int]:
+        """``k -> |k-class|`` over all non-empty classes."""
+        profile: Dict[int, int] = {}
+        for value in self._trussness:
+            profile[int(value)] = profile.get(int(value), 0) + 1
+        return dict(sorted(profile.items()))
+
+    # ------------------------------------------------------------------ #
+    # navigation
+    # ------------------------------------------------------------------ #
+
+    def containment_chain(self, u: int, v: int) -> List[Tuple[int, int]]:
+        """``(k, community_size)`` for the edge's community at each level
+        ``3 <= k <= τ((u, v))`` — communities shrink (weakly) as k rises."""
+        tau = self.trussness(u, v)
+        chain: List[Tuple[int, int]] = []
+        target = (min(u, v), max(u, v))
+        for k in range(3, tau + 1):
+            for community in self.communities(k):
+                if target in community:
+                    vertices = {x for edge in community for x in edge}
+                    chain.append((k, len(vertices)))
+                    break
+        return chain
+
+    def max_truss_communities(self) -> List[List[EdgePair]]:
+        """The connected `k_max`-trusses (Definition 5 split by Def. 2)."""
+        if self.k_max < 2:
+            return []
+        return self.communities(self.k_max)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TrussHierarchy(n={self.graph.n}, m={self.graph.m}, "
+            f"k_max={self.k_max}, levels={len(self.level_profile())})"
+        )

@@ -1,0 +1,92 @@
+"""Dataset statistics — the Table I / Fig 8 computations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..baselines.inmemory import max_truss_edges
+from ..graph.memgraph import Graph
+from .degeneracy import degeneracy, kmax_vs_degeneracy_gap
+
+
+@dataclass
+class GraphStats:
+    """One Table I row: basic sizes plus ``k_max`` and degeneracy ``δ``."""
+
+    name: str
+    n: int
+    m: int
+    k_max: int
+    degeneracy: int
+    triangles: int
+    max_degree: int
+
+    @property
+    def gap(self) -> float:
+        """Fig 8 (b): ``(c_max − k_max) / c_max``."""
+        return kmax_vs_degeneracy_gap(self.k_max, self.degeneracy)
+
+    def row(self) -> str:
+        """Fixed-width textual row for the benchmark harness tables."""
+        return (
+            f"{self.name:<16} {self.n:>8} {self.m:>9} {self.k_max:>6} "
+            f"{self.degeneracy:>6} {self.triangles:>9} {self.max_degree:>6}"
+        )
+
+
+def graph_stats(graph: Graph, name: str = "graph") -> GraphStats:
+    """Compute a :class:`GraphStats` row for one graph."""
+    k_max, _ = max_truss_edges(graph)
+    return GraphStats(
+        name=name,
+        n=graph.n,
+        m=graph.m,
+        k_max=k_max,
+        degeneracy=degeneracy(graph),
+        triangles=graph.triangle_count(),
+        max_degree=graph.max_degree,
+    )
+
+
+def kmax_distribution(stats: Iterable[GraphStats], buckets: Optional[List[int]] = None) -> Dict[str, int]:
+    """Histogram of ``k_max`` values across graphs (Fig 8 (a)).
+
+    Default buckets follow the paper's reading: most graphs below 200.
+    """
+    edges = buckets if buckets is not None else [10, 50, 100, 200, 500, 1000]
+    labels = []
+    previous = 0
+    for edge in edges:
+        labels.append(f"[{previous},{edge})")
+        previous = edge
+    labels.append(f"[{previous},inf)")
+    histogram = {label: 0 for label in labels}
+    for stat in stats:
+        placed = False
+        previous = 0
+        for edge, label in zip(edges, labels):
+            if previous <= stat.k_max < edge:
+                histogram[label] += 1
+                placed = True
+                break
+            previous = edge
+        if not placed:
+            histogram[labels[-1]] += 1
+    return histogram
+
+
+def degeneracy_comparison(stats: Iterable[GraphStats]) -> Dict[str, float]:
+    """Fig 8 (b) summary: fractions of graphs by ``k_max`` vs ``c_max``."""
+    stats = list(stats)
+    total = len(stats)
+    if total == 0:
+        return {"kmax_below_cmax": 0.0, "kmax_equals_cmax_plus_1": 0.0, "mean_gap": 0.0}
+    below = sum(1 for s in stats if s.k_max < s.degeneracy)
+    worst = sum(1 for s in stats if s.k_max == s.degeneracy + 1)
+    mean_gap = sum(s.gap for s in stats) / total
+    return {
+        "kmax_below_cmax": below / total,
+        "kmax_equals_cmax_plus_1": worst / total,
+        "mean_gap": mean_gap,
+    }

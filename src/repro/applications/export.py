@@ -1,0 +1,111 @@
+"""Exports for downstream tools: Graphviz DOT and JSON.
+
+Community-search and hierarchy results are usually consumed by a
+visualiser or a web UI. This module serialises them without any extra
+dependency:
+
+* :func:`to_dot` — Graphviz with an optional highlighted edge set (the
+  k_max-truss drawn bold over the rest of the graph — the paper's Fig 1
+  shading);
+* :func:`hierarchy_to_json` — the full k-class structure of a
+  :class:`~repro.analysis.hierarchy.TrussHierarchy`;
+* :func:`community_to_json` — one community answer with its metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..analysis.hierarchy import TrussHierarchy
+from ..graph.memgraph import Graph
+from .community import CommunityResult
+
+EdgePair = Tuple[int, int]
+
+
+def _quote(label: str) -> str:
+    return '"' + str(label).replace('"', '\\"') + '"'
+
+
+def to_dot(
+    graph: Graph,
+    highlight_edges: Optional[Iterable[EdgePair]] = None,
+    labels: Optional[Sequence[str]] = None,
+    name: str = "G",
+) -> str:
+    """Render *graph* as Graphviz DOT.
+
+    Edges in *highlight_edges* are drawn bold (penwidth 3); vertices can
+    carry *labels* (defaults to their ids). Only vertices touched by at
+    least one edge are emitted, to keep large sparse exports readable.
+    """
+    highlighted = {
+        (min(u, v), max(u, v)) for u, v in (highlight_edges or [])
+    }
+    lines = [f"graph {_quote(name)} {{", "  node [shape=circle];"]
+    touched = sorted({int(x) for edge in graph.edges for x in edge})
+    for v in touched:
+        label = labels[v] if labels is not None else str(v)
+        lines.append(f"  {v} [label={_quote(label)}];")
+    for u, v in graph.edge_pairs():
+        style = " [penwidth=3, color=black]" if (u, v) in highlighted else \
+            " [color=gray60]" if highlighted else ""
+        lines.append(f"  {u} -- {v}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def community_to_json(
+    result: CommunityResult, labels: Optional[Sequence[str]] = None
+) -> str:
+    """Serialise one community answer as JSON."""
+    payload: Dict = {
+        "k": result.k,
+        "query": result.query,
+        "vertices": result.vertices,
+        "edges": [list(edge) for edge in result.edges],
+    }
+    if labels is not None:
+        payload["labels"] = {v: labels[v] for v in result.vertices}
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def hierarchy_to_json(hierarchy: TrussHierarchy, max_levels: int = 100) -> str:
+    """Serialise a truss hierarchy: per-level class sizes + communities.
+
+    ``max_levels`` caps the exported levels from the top (a web UI rarely
+    needs all of them); levels are exported from ``k_max`` downward.
+    """
+    levels = sorted(hierarchy.level_profile(), reverse=True)[:max_levels]
+    payload = {
+        "n": hierarchy.graph.n,
+        "m": hierarchy.graph.m,
+        "k_max": hierarchy.k_max,
+        "levels": [
+            {
+                "k": k,
+                "class_size": hierarchy.level_profile()[k],
+                "communities": [
+                    {
+                        "vertices": sorted({x for e in community for x in e}),
+                        "edges": len(community),
+                    }
+                    for community in (hierarchy.communities(k) if k >= 3 else [])
+                ],
+            }
+            for k in levels
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def load_community_json(payload: str) -> CommunityResult:
+    """Inverse of :func:`community_to_json` (labels are dropped)."""
+    data = json.loads(payload)
+    return CommunityResult(
+        k=int(data["k"]),
+        edges=sorted((int(u), int(v)) for u, v in data["edges"]),
+        vertices=sorted(int(v) for v in data["vertices"]),
+        query=[int(q) for q in data.get("query", [])],
+    )

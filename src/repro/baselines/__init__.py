@@ -1,0 +1,24 @@
+"""Comparison algorithms: in-memory ground truth, Bottom-Up, Top-Down."""
+
+from .inmemory import (
+    truss_decomposition,
+    max_truss_edges,
+    k_truss_edges,
+    k_classes,
+    in_memory_max_truss,
+)
+from .bottom_up import bottom_up, truss_decomposition_semi_external
+from .top_down import top_down
+from .partitioned import partitioned_truss_decomposition
+
+__all__ = [
+    "truss_decomposition",
+    "max_truss_edges",
+    "k_truss_edges",
+    "k_classes",
+    "in_memory_max_truss",
+    "bottom_up",
+    "truss_decomposition_semi_external",
+    "top_down",
+    "partitioned_truss_decomposition",
+]

@@ -1,0 +1,303 @@
+"""Command-line interface: ``repro-truss`` / ``python -m repro``.
+
+Subcommands
+-----------
+* ``compute`` — run a max-truss algorithm on an edge-list file and print
+  ``k_max``, the truss size, and the I/O / memory bill.
+* ``stats`` — Table-I style statistics for a file or named dataset.
+* ``generate`` — write a stand-in dataset (or generator output) to a file.
+* ``maintain`` — apply an update stream (``+u v`` / ``-u v`` lines) to a
+  graph, reporting per-op maintenance cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.statistics import graph_stats
+from .core.api import available_methods, max_truss
+from .dynamic import DynamicMaxTruss
+from .errors import ReproError
+from .graph.datasets import dataset_names, load_dataset
+from .graph.edgelist import read_edgelist, write_text_edgelist
+from .graph.memgraph import Graph
+
+
+def _load_graph(source: str, seed: int) -> Graph:
+    """Interpret *source* as a dataset name or a file path."""
+    if source in dataset_names():
+        return load_dataset(source, seed=seed)
+    return read_edgelist(source)
+
+
+def _cmd_compute(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.seed)
+    result = max_truss(graph, method=args.method)
+    if args.format != "plain":
+        from .reporting import render_result
+
+        print(render_result(result, args.format))
+    else:
+        print(f"graph: n={graph.n} m={graph.m}")
+        print(f"algorithm: {result.algorithm}")
+        print(f"k_max: {result.k_max}")
+        print(f"truss edges: {result.truss_edge_count}")
+        print(f"truss vertices: {len(result.truss_vertices())}")
+        print(f"read I/Os: {result.io.read_ios}")
+        print(f"write I/Os: {result.io.write_ios}")
+        print(f"peak model memory: {result.peak_memory_bytes} bytes")
+        print(f"elapsed: {result.elapsed_seconds:.3f}s")
+    if args.show_edges:
+        for u, v in result.truss_edges:
+            print(f"{u} {v}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .reporting import render_comparison
+
+    graph = _load_graph(args.graph, args.seed)
+    results = [
+        max_truss(graph, method=method) for method in args.methods
+    ]
+    answers = {result.k_max for result in results}
+    print(render_comparison(results, args.format))
+    if len(answers) != 1:
+        print("WARNING: methods disagree on k_max!", file=sys.stderr)
+        return 4
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from .semiexternal.estimation import estimate_triangles
+
+    graph = _load_graph(args.graph, args.seed)
+    estimate = estimate_triangles(graph, samples=args.samples, seed=args.seed)
+    print(f"graph: n={graph.n} m={graph.m}")
+    print(f"wedges: {estimate.wedges}")
+    print(f"sampled wedges: {estimate.samples}")
+    print(f"closure rate: {estimate.closure_rate:.4f}")
+    print(f"estimated triangles: {estimate.triangles:.0f}")
+    print(f"Lemma 1 seed: {estimate.lemma1_seed(graph.m)}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.seed)
+    stats = graph_stats(graph, name=args.graph)
+    print(f"{'name':<16} {'n':>8} {'m':>9} {'kmax':>6} {'delta':>6} "
+          f"{'tri':>9} {'dmax':>6}")
+    print(stats.row())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, seed=args.seed)
+    write_text_edgelist(graph, args.output)
+    print(f"wrote {args.dataset} (n={graph.n}, m={graph.m}) to {args.output}")
+    return 0
+
+
+def _cmd_community(args: argparse.Namespace) -> int:
+    from .applications import truss_community
+
+    graph = _load_graph(args.graph, args.seed)
+    result = truss_community(
+        graph, args.query, connectivity=args.connectivity
+    )
+    if result is None:
+        print("no common community exists for the query vertices")
+        return 3
+    print(f"community trussness k: {result.k}")
+    print(f"community vertices ({result.size}): "
+          + " ".join(str(v) for v in result.vertices[:40])
+          + (" ..." if result.size > 40 else ""))
+    print(f"community edges: {len(result.edges)}")
+    if args.show_edges:
+        for u, v in result.edges:
+            print(f"{u} {v}")
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from .baselines import truss_decomposition_semi_external
+
+    graph = _load_graph(args.graph, args.seed)
+    trussness = truss_decomposition_semi_external(graph)
+    print(f"# trussness per edge: u v tau   (n={graph.n} m={graph.m})")
+    for eid in range(graph.m):
+        u, v = graph.edges[eid]
+        print(f"{u} {v} {trussness[eid]}")
+    return 0
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from .analysis.hierarchy import TrussHierarchy
+    from .reporting import render_table
+
+    graph = _load_graph(args.graph, args.seed)
+    hierarchy = TrussHierarchy(graph)
+    print(f"graph: n={graph.n} m={graph.m} k_max={hierarchy.k_max}")
+    rows = [
+        (k, count, len(hierarchy.communities(k)) if k >= 3 else "-")
+        for k, count in hierarchy.level_profile().items()
+    ]
+    print(render_table(("k", "class_size", "communities"), rows, args.format))
+    return 0
+
+
+def _cmd_maintain(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.seed)
+    state = DynamicMaxTruss(graph)
+    print(f"initial k_max: {state.k_max}")
+    stream = open(args.updates, "r", encoding="utf-8") if args.updates else sys.stdin
+    operations = []
+    try:
+        for line_number, line in enumerate(stream, 1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            sign = stripped[0]
+            try:
+                u, v = (int(x) for x in stripped[1:].split())
+            except ValueError:
+                print(f"line {line_number}: malformed update {stripped!r}",
+                      file=sys.stderr)
+                return 2
+            if args.batch:
+                operations.append(
+                    ("insert" if sign == "+" else "delete", u, v)
+                )
+                continue
+            result = state.insert(u, v) if sign == "+" else state.delete(u, v)
+            print(
+                f"{result.operation} ({u},{v}): k_max {result.k_max_before} -> "
+                f"{result.k_max_after} [{result.mode}] "
+                f"io={result.io.total_ios} {result.elapsed_seconds * 1e3:.2f}ms"
+            )
+    finally:
+        if args.updates:
+            stream.close()
+    if args.batch and operations:
+        batch = state.apply_batch(operations)
+        print(
+            f"batch of {batch.operations} ops "
+            f"({batch.insertions} inserts, {batch.deletions} deletes): "
+            f"k_max {batch.k_max_before} -> {batch.k_max_after} "
+            f"[{batch.mode}] io={batch.io.total_ios} "
+            f"{batch.elapsed_seconds * 1e3:.2f}ms"
+        )
+    print(f"final k_max: {state.k_max} ({state.truss_edge_count()} class edges)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-truss",
+        description="I/O efficient max-truss computation (ICDE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compute = sub.add_parser("compute", help="compute the k_max-truss")
+    compute.add_argument("graph", help="edge-list file or dataset name")
+    compute.add_argument(
+        "--method", default="semi-lazy-update", choices=available_methods()
+    )
+    compute.add_argument("--seed", type=int, default=0)
+    compute.add_argument("--show-edges", action="store_true")
+    compute.add_argument("--format", default="plain",
+                         choices=["plain", "text", "markdown", "csv"])
+    compute.set_defaults(func=_cmd_compute)
+
+    compare = sub.add_parser("compare", help="run several methods side by side")
+    compare.add_argument("graph", help="edge-list file or dataset name")
+    compare.add_argument(
+        "--methods", nargs="+",
+        default=["semi-binary", "semi-greedy-core", "semi-lazy-update"],
+        choices=available_methods(),
+    )
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--format", default="text",
+                         choices=["text", "markdown", "csv"])
+    compare.set_defaults(func=_cmd_compare)
+
+    estimate = sub.add_parser(
+        "estimate", help="wedge-sampling triangle estimate"
+    )
+    estimate.add_argument("graph", help="edge-list file or dataset name")
+    estimate.add_argument("--samples", type=int, default=2000)
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.set_defaults(func=_cmd_estimate)
+
+    stats = sub.add_parser("stats", help="Table-I style statistics")
+    stats.add_argument("graph", help="edge-list file or dataset name")
+    stats.add_argument("--seed", type=int, default=0)
+    stats.set_defaults(func=_cmd_stats)
+
+    generate = sub.add_parser("generate", help="write a stand-in dataset")
+    generate.add_argument("dataset", choices=dataset_names())
+    generate.add_argument("output")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    maintain = sub.add_parser("maintain", help="apply an update stream")
+    maintain.add_argument("graph", help="edge-list file or dataset name")
+    maintain.add_argument(
+        "--updates", help="file of '+u v' / '-u v' lines (default: stdin)"
+    )
+    maintain.add_argument(
+        "--batch", action="store_true",
+        help="apply the whole stream as one batch (single global recompute)",
+    )
+    maintain.add_argument("--seed", type=int, default=0)
+    maintain.set_defaults(func=_cmd_maintain)
+
+    community = sub.add_parser(
+        "community", help="truss community search for query vertices"
+    )
+    community.add_argument("graph", help="edge-list file or dataset name")
+    community.add_argument("query", type=int, nargs="+",
+                           help="query vertex ids")
+    community.add_argument("--connectivity", default="vertex",
+                           choices=["vertex", "triangle"])
+    community.add_argument("--seed", type=int, default=0)
+    community.add_argument("--show-edges", action="store_true")
+    community.set_defaults(func=_cmd_community)
+
+    decompose = sub.add_parser(
+        "decompose", help="full semi-external truss decomposition"
+    )
+    decompose.add_argument("graph", help="edge-list file or dataset name")
+    decompose.add_argument("--seed", type=int, default=0)
+    decompose.set_defaults(func=_cmd_decompose)
+
+    hierarchy = sub.add_parser(
+        "hierarchy", help="k-class level profile and community counts"
+    )
+    hierarchy.add_argument("graph", help="edge-list file or dataset name")
+    hierarchy.add_argument("--seed", type=int, default=0)
+    hierarchy.add_argument("--format", default="text",
+                           choices=["text", "markdown", "csv"])
+    hierarchy.set_defaults(func=_cmd_hierarchy)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Lower and upper bounds on ``k_max`` (paper Lemmas 1, 2, 3, 5).
+
+Implemented bounds
+------------------
+* :func:`nash_williams_lower_bound` — the prior-work bound the paper cites
+  from Conte et al.: ``k_max >= ceil(Δ_G / m) + 2``. **Sound**: peel edges in
+  min-support order; each removal of an edge with support ``s`` destroys
+  exactly ``s`` triangles, and all ``Δ_G`` triangles get destroyed, so some
+  prefix moment has minimum support ``>= Δ_G / m``.
+* :func:`lemma1_lower_bound` — the paper's tighter bound
+  ``k_max >= 3·Δ_G / (m − |E⁰|) + 2`` and its dynamic re-tightened form.
+* :func:`support_upper_bound` — Lemma 2: ``ub = max_e sup(e) + 2``.
+* :func:`core_upper_bound` — Lemma 3: ``τ(u,v) <= min(core(u), core(v)) + 1``
+  (sound: a k-truss is a (k−1)-core).
+
+Soundness note (reproduction finding)
+-------------------------------------
+Lemma 1 as printed is *not sound in general*: a "triangle fan" (hub edge
+``(u,v)`` with ``t >= 3`` pendant common neighbours and no other edges) has
+``Δ = t``, ``m = 2t + 1``, ``|E⁰| = 0`` and ``k_max = 3``, but the formula
+yields ``3t/(2t+1) + 2 > 3`` — exceeding ``k_max``. The proof's step
+"``(m − |E⁰|)(k_max − 2) >= 3Δ_G``" presumes every triangle-carrying edge has
+support ``<= k_max − 2``, which support-rich/trussness-poor edges violate.
+
+The library therefore treats Lemma 1 as a *heuristic* search accelerator:
+the algorithms seed their binary search with it (faithful to the paper, and
+tight on the dense-core graphs the paper evaluates), but guarantee
+correctness with two safety nets — a downward restart from the sound
+Nash-Williams bound when no truss is found in ``[lb, ub]``, and a final
+upward verification sweep (see :mod:`repro.core.semi_binary`). On graphs
+where Lemma 1 holds, both nets cost at most one extra emptiness test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import ceil_div
+
+
+def nash_williams_lower_bound(triangles: int, num_edges: int) -> int:
+    """Sound lower bound ``ceil(Δ_G / m) + 2`` (prior work).
+
+    Returns 2 for triangle-free or empty graphs.
+    """
+    if num_edges <= 0 or triangles <= 0:
+        return 2
+    return ceil_div(triangles, num_edges) + 2
+
+
+def lemma1_lower_bound(triangles: int, num_edges: int, zero_support_edges: int) -> int:
+    """The paper's Lemma 1 bound ``3Δ_G / (m − |E⁰|) + 2`` (heuristic).
+
+    Returns 2 when there are no triangle-carrying edges. See the module
+    docstring for the soundness caveat.
+    """
+    effective_edges = num_edges - zero_support_edges
+    if effective_edges <= 0 or triangles <= 0:
+        return 2
+    return ceil_div(3 * triangles, effective_edges) + 2
+
+
+def lemma1_dynamic_lower_bound(
+    remaining_triangles: int, remaining_edges: int
+) -> int:
+    """Lemma 1's re-tightened form after removals:
+    ``3(Δ_G − §Δ) / (m − §E) + 2`` on the surviving subgraph."""
+    if remaining_edges <= 0 or remaining_triangles <= 0:
+        return 2
+    return ceil_div(3 * remaining_triangles, remaining_edges) + 2
+
+
+def support_upper_bound(max_support: int) -> int:
+    """Lemma 2: ``k_max <= max_e sup(e) + 2``."""
+    return max(max_support, 0) + 2
+
+
+def edge_core_upper_bound(core_u: int, core_v: int) -> int:
+    """Lemma 3 for one edge: ``τ(u, v) <= min(core(u), core(v)) + 1``."""
+    return min(core_u, core_v) + 1
+
+
+def core_upper_bound(coreness: np.ndarray, edges: np.ndarray) -> int:
+    """Lemma 3 aggregated: ``k_max <= max_(u,v) min(core(u), core(v)) + 1``.
+
+    Returns 2 for edgeless graphs (no truss beyond the trivial 2-truss).
+    """
+    if len(edges) == 0:
+        return 2
+    mins = np.minimum(coreness[edges[:, 0]], coreness[edges[:, 1]])
+    return int(mins.max()) + 1
+
+
+def greedy_lower_bound(local_kmax: int) -> int:
+    """Lemma 5: a ``k'_max``-truss found inside ``G_cmax`` certifies
+    ``k_max >= k'_max`` (sound — the certificate is a subgraph of ``G``)."""
+    return max(local_kmax, 2)
+
+
+def clamp_bounds(lb: int, ub: int) -> tuple:
+    """Normalise a search interval: lower bounds below 3 are meaningless
+    for a triangle-carrying truss, and ``lb`` must not exceed ``ub + 1``."""
+    lb = max(lb, 3)
+    return (lb, ub) if lb <= ub + 1 else (ub + 1, ub)

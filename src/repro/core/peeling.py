@@ -1,0 +1,209 @@
+"""Shared edge-peeling kernels.
+
+All three static algorithms — and the maintenance fallbacks — reduce to the
+same primitive: *repeatedly delete the minimum-support edge while its support
+is below a threshold, decrementing the support of the two edges that close a
+triangle with it* (Alg 1 lines 11–18, Alg 2 lines 15–22, Alg 4).
+
+The kernel here is written once against a duck-typed **peel-heap protocol**:
+
+``__len__``, ``min_key()``, ``pop_min()``, ``key_if_alive(eid)``,
+``decrement_edge(eid, level)``, ``after_kernel()``, ``live_items()``,
+``release()``
+
+Two implementations exist:
+
+* :class:`PlainDiskHeap` — a bare :class:`~repro.structures.LinearHeap`
+  (the ``A_disk`` of SemiBinary / SemiGreedyCore): every support decrement
+  is a disk-resident remove+insert, every aliveness probe a disk read.
+* :class:`~repro.structures.LHDH` — the lazy composite used by
+  SemiLazyUpdate: hot edges migrate into the in-memory dynamic heap, so
+  repeated decrements are free.
+
+Triangle bookkeeping: when edge ``e`` is popped at support ``s``, exactly
+``s`` still-alive triangles through it are destroyed. The kernel tallies
+these so the caller can apply Lemma 1's dynamic lower bound without a
+rescan. A triangle ``(e, f, g)`` is processed only if *both* ``f`` and ``g``
+are still alive (a dead edge already accounted for that triangle when it was
+popped — adjacency lists are never physically rewritten).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .._util import WorkBudget
+from ..graph.disk_graph import DiskGraph
+from ..storage import BlockDevice, MemoryMeter
+from ..structures import LHDH, LinearHeap
+
+
+class PlainDiskHeap:
+    """``A_disk``: the bin-sorted disk array with fully eager updates.
+
+    Satisfies the peel-heap protocol with every operation hitting the
+    simulated disk — this is what makes SemiBinary/SemiGreedyCore pay the
+    "reorder (u,w) and (v,w)" I/O that LHDH amortises away.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        eids: Iterable[int],
+        keys: Iterable[int],
+        memory: Optional[MemoryMeter] = None,
+        name: str = "adisk",
+    ) -> None:
+        self.lheap = LinearHeap.build(device, eids, keys, memory=memory, name=name)
+
+    def __len__(self) -> int:
+        return len(self.lheap)
+
+    def min_key(self) -> Optional[int]:
+        return self.lheap.min_key()
+
+    def pop_min(self) -> Tuple[int, int]:
+        return self.lheap.pop_min()
+
+    def key_if_alive(self, eid: int) -> Optional[int]:
+        if not self.lheap.contains(eid):
+            return None
+        return self.lheap.key_of(eid)
+
+    def decrement_edge(self, eid: int, level: int) -> None:
+        key = self.lheap.key_of(eid)
+        if key > level:
+            self.lheap.update_key(eid, key - 1)
+
+    def after_kernel(self) -> None:
+        """No lazy component — nothing to maintain."""
+
+    def live_items(self):
+        return self.lheap.live_items()
+
+    def release(self) -> None:
+        self.lheap.release()
+
+
+def make_plain_heap(
+    device: BlockDevice,
+    eids: Iterable[int],
+    keys: Iterable[int],
+    memory: Optional[MemoryMeter] = None,
+    name: str = "adisk",
+    capacity: Optional[int] = None,
+) -> PlainDiskHeap:
+    """Heap factory for the eager algorithms (capacity ignored)."""
+    return PlainDiskHeap(device, eids, keys, memory=memory, name=name)
+
+
+def make_lhdh_heap(
+    device: BlockDevice,
+    eids: Iterable[int],
+    keys: Iterable[int],
+    memory: Optional[MemoryMeter] = None,
+    name: str = "lhdh",
+    capacity: Optional[int] = None,
+) -> LHDH:
+    """Heap factory for SemiLazyUpdate (capacity defaults to #edges)."""
+    eids = list(eids)
+    if capacity is None:
+        capacity = max(1, len(eids))
+    return LHDH(device, eids, keys, capacity=capacity, memory=memory, name=name)
+
+
+@dataclass
+class PeelStats:
+    """Tally of one peeling run."""
+
+    removed_edges: int = 0
+    destroyed_triangles: int = 0
+    kernel_calls: int = 0
+
+    def merge(self, other: "PeelStats") -> None:
+        """Accumulate *other* into this tally."""
+        self.removed_edges += other.removed_edges
+        self.destroyed_triangles += other.destroyed_triangles
+        self.kernel_calls += other.kernel_calls
+
+
+def delete_edge_kernel(heap, subgraph: DiskGraph, eid: int, level: int) -> int:
+    """Process the triangles of a just-popped edge (Algorithm 4 core).
+
+    Returns the number of still-alive triangles destroyed. ``level`` is the
+    popped edge's support: neighbouring edges with key above it are
+    decremented; edges at or below it are pending deletion themselves.
+    """
+    u, v = subgraph.load_endpoints(eid)
+    nbrs_u, eids_u = subgraph.load_neighbors_with_eids(u)
+    nbrs_v, eids_v = subgraph.load_neighbors_with_eids(v)
+    common, index_u, index_v = np.intersect1d(
+        nbrs_u, nbrs_v, assume_unique=True, return_indices=True
+    )
+    destroyed = 0
+    for position in range(len(common)):
+        f = int(eids_u[index_u[position]])
+        g = int(eids_v[index_v[position]])
+        f_key = heap.key_if_alive(f)
+        if f_key is None:
+            continue
+        g_key = heap.key_if_alive(g)
+        if g_key is None:
+            continue
+        destroyed += 1
+        if f_key > level:
+            heap.decrement_edge(f, level)
+        if g_key > level:
+            heap.decrement_edge(g, level)
+    return destroyed
+
+
+def peel_below(
+    heap,
+    subgraph: DiskGraph,
+    support_threshold: int,
+    budget: Optional[WorkBudget] = None,
+) -> PeelStats:
+    """Delete every edge whose support falls below *support_threshold*.
+
+    After the run, all surviving edges have (in-subgraph) support
+    ``>= support_threshold`` — i.e. the survivors form the maximal
+    ``(support_threshold + 2)``-truss edge set of *subgraph*.
+    """
+    stats = PeelStats()
+    while len(heap):
+        current_min = heap.min_key()
+        if current_min is None or current_min >= support_threshold:
+            break
+        if budget is not None:
+            budget.spend()
+        eid, key = heap.pop_min()
+        stats.destroyed_triangles += delete_edge_kernel(heap, subgraph, eid, key)
+        heap.after_kernel()
+        stats.removed_edges += 1
+        stats.kernel_calls += 1
+    return stats
+
+
+def surviving_edge_ids(heap) -> List[int]:
+    """Edge ids still in the heap (charged traversal of the linear heap)."""
+    return sorted(eid for eid, _key in heap.live_items())
+
+
+def extract_truss_pairs(
+    subgraph: DiskGraph,
+    survivors: List[int],
+    node_map: np.ndarray,
+    edge_map: np.ndarray,
+) -> List[Tuple[int, int]]:
+    """Map surviving subgraph edge ids back to original ``(u, v)`` pairs."""
+    pairs = []
+    for eid in survivors:
+        u, v = subgraph.edge_pair(int(eid))
+        original_u, original_v = int(node_map[u]), int(node_map[v])
+        pairs.append((min(original_u, original_v), max(original_u, original_v)))
+    del edge_map  # edge ids are reported as endpoint pairs, not parent ids
+    return sorted(pairs)

@@ -1,0 +1,101 @@
+"""Result object returned by every max-truss computation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..storage import IOStats
+
+
+@dataclass
+class MaxTrussResult:
+    """Outcome of a ``k_max``-truss computation.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the producing algorithm (``"SemiBinary"``, ...).
+    k_max:
+        The maximum trussness; ``0`` for edgeless graphs, ``2`` when no edge
+        participates in a triangle.
+    truss_edges:
+        Edges of the ``k_max``-truss as ``(u, v)`` pairs with ``u < v``, in
+        the *original* vertex labelling, sorted.
+    io:
+        Block I/O consumed (delta over the run).
+    peak_memory_bytes:
+        High-water model memory (node-indexed arrays + dynamic structures).
+    elapsed_seconds:
+        Wall-clock time of the run.
+    extras:
+        Algorithm-specific diagnostics, e.g. SemiGreedyCore reports
+        ``local_kmax`` (``k'_max``), ``cmax_edges`` (``|E(G_cmax)|``),
+        ``core_rounds``; SemiBinary reports ``search_probes``.
+    """
+
+    algorithm: str
+    k_max: int
+    truss_edges: List[Tuple[int, int]]
+    io: IOStats = field(default_factory=IOStats)
+    peak_memory_bytes: int = 0
+    elapsed_seconds: float = 0.0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def truss_edge_count(self) -> int:
+        """Number of edges in the ``k_max``-truss."""
+        return len(self.truss_edges)
+
+    def truss_vertices(self) -> List[int]:
+        """Sorted vertex ids spanned by the ``k_max``-truss."""
+        seen = set()
+        for u, v in self.truss_edges:
+            seen.add(u)
+            seen.add(v)
+        return sorted(seen)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm}: k_max={self.k_max} "
+            f"({self.truss_edge_count} edges, {len(self.truss_vertices())} vertices) "
+            f"io={self.io.total_ios} peak_mem={self.peak_memory_bytes}B "
+            f"time={self.elapsed_seconds:.3f}s"
+        )
+
+
+@dataclass
+class MaintenanceResult:
+    """Outcome of one dynamic update (insertion or deletion).
+
+    Attributes
+    ----------
+    operation:
+        ``"insert"`` or ``"delete"``.
+    edge:
+        The updated edge ``(u, v)``.
+    k_max_before / k_max_after:
+        Maximum trussness around the update.
+    mode:
+        How the update was resolved: ``"untouched"`` (no truss change
+        possible), ``"local"`` (in-truss cascade), or ``"global"``
+        (core-pruned recomputation).
+    io:
+        Block I/O consumed by the update.
+    elapsed_seconds:
+        Wall-clock time of the update.
+    """
+
+    operation: str
+    edge: Tuple[int, int]
+    k_max_before: int
+    k_max_after: int
+    mode: str
+    io: IOStats = field(default_factory=IOStats)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def changed(self) -> bool:
+        """Whether ``k_max`` itself changed."""
+        return self.k_max_before != self.k_max_after

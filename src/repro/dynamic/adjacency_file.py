@@ -1,0 +1,144 @@
+"""An updatable on-disk adjacency file for the dynamic algorithms.
+
+The static algorithms read an immutable edge file; maintenance needs an
+adjacency representation that survives edge insertions and deletions. This
+models the standard slack-region layout: each vertex owns a region of
+``capacity >= degree`` slots; appending into remaining slack is a one-slot
+write, while overflowing relocates the whole list to fresh space at the file
+tail (read old region + sequential write of the new one) — exactly the I/O
+a real implementation pays.
+
+Payload truth lives in the caller's :class:`~repro.graph.memgraph.MutableGraph`;
+this class owns the *accounting* (which bytes move when), in line with the
+simulator contract of DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..storage import BlockDevice
+
+_ITEMSIZE = 8  # one int64 slot per neighbour
+_MIN_SLACK = 4
+
+
+class AdjacencyFile:
+    """Charged I/O model of a mutable adjacency-list file."""
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        degrees: Iterable[int],
+        name: str = "adjfile",
+        slack: int = _MIN_SLACK,
+    ) -> None:
+        self.device = device
+        self.name = name
+        self._slack = max(1, slack)
+        degree_array = np.asarray(list(degrees), dtype=np.int64)
+        self.degrees = degree_array.copy()
+        self.capacity = degree_array + self._slack
+        self.offsets = np.zeros(len(degree_array), dtype=np.int64)
+        if len(degree_array):
+            np.cumsum(self.capacity[:-1], out=self.offsets[1:])
+        self._tail = int(self.capacity.sum())
+        initial_bytes = max(self._tail, 1) * _ITEMSIZE
+        self.extent = device.allocate(name, initial_bytes)
+        # Initial materialisation: one sequential write of all lists.
+        if self._tail:
+            device.append_write(self.extent, 0, self._tail * _ITEMSIZE)
+
+    # ------------------------------------------------------------------ #
+    # vertex-table maintenance
+    # ------------------------------------------------------------------ #
+
+    def _ensure_vertex(self, v: int) -> None:
+        if v < len(self.degrees):
+            return
+        extra = v + 1 - len(self.degrees)
+        self.degrees = np.concatenate([self.degrees, np.zeros(extra, dtype=np.int64)])
+        new_caps = np.full(extra, self._slack, dtype=np.int64)
+        new_offsets = self._tail + np.concatenate(
+            [[0], np.cumsum(new_caps[:-1])]
+        ).astype(np.int64)
+        self.capacity = np.concatenate([self.capacity, new_caps])
+        self.offsets = np.concatenate([self.offsets, new_offsets])
+        self._tail += int(new_caps.sum())
+        self._ensure_extent()
+
+    def _ensure_extent(self) -> None:
+        needed = self._tail * _ITEMSIZE
+        if needed > self.device.extent_size(self.extent):
+            self.device.grow(self.extent, max(needed, 2 * self.device.extent_size(self.extent)))
+
+    # ------------------------------------------------------------------ #
+    # charged operations
+    # ------------------------------------------------------------------ #
+
+    def charge_load(self, v: int) -> None:
+        """Charge reading ``N(v)`` from the file."""
+        self._ensure_vertex(v)
+        degree = int(self.degrees[v])
+        if degree:
+            self.device.touch_read(
+                self.extent, int(self.offsets[v]) * _ITEMSIZE, degree * _ITEMSIZE
+            )
+
+    def charge_append(self, v: int) -> None:
+        """Charge adding one neighbour to ``N(v)`` (slack write or move)."""
+        self._ensure_vertex(v)
+        degree = int(self.degrees[v])
+        if degree + 1 <= self.capacity[v]:
+            self.device.touch_write(
+                self.extent,
+                (int(self.offsets[v]) + degree) * _ITEMSIZE,
+                _ITEMSIZE,
+            )
+        else:
+            # Relocate: read the old region, write the doubled one at tail.
+            self.device.touch_read(
+                self.extent, int(self.offsets[v]) * _ITEMSIZE, degree * _ITEMSIZE
+            )
+            new_capacity = max(2 * degree, degree + self._slack)
+            self.offsets[v] = self._tail
+            self.capacity[v] = new_capacity
+            self._tail += new_capacity
+            self._ensure_extent()
+            self.device.append_write(
+                self.extent, int(self.offsets[v]) * _ITEMSIZE, (degree + 1) * _ITEMSIZE
+            )
+        self.degrees[v] += 1
+
+    def charge_remove(self, v: int) -> None:
+        """Charge deleting one neighbour from ``N(v)`` (swap-with-last)."""
+        self._ensure_vertex(v)
+        degree = int(self.degrees[v])
+        if degree <= 0:
+            return
+        # Read the list to find the slot, then overwrite it with the tail slot.
+        self.device.touch_read(
+            self.extent, int(self.offsets[v]) * _ITEMSIZE, degree * _ITEMSIZE
+        )
+        self.device.touch_write(self.extent, int(self.offsets[v]) * _ITEMSIZE, _ITEMSIZE)
+        self.degrees[v] -= 1
+
+    def charge_rebuild(self, degrees: Iterable[int]) -> None:
+        """Charge rewriting the whole file (wholesale truss refresh)."""
+        degree_array = np.asarray(list(degrees), dtype=np.int64)
+        self.degrees = degree_array.copy()
+        self.capacity = degree_array + self._slack
+        self.offsets = np.zeros(len(degree_array), dtype=np.int64)
+        if len(degree_array):
+            np.cumsum(self.capacity[:-1], out=self.offsets[1:])
+        self._tail = int(self.capacity.sum())
+        self._ensure_extent()
+        if self._tail:
+            self.device.append_write(self.extent, 0, self._tail * _ITEMSIZE)
+
+    @property
+    def file_slots(self) -> int:
+        """Total allocated slots (including slack and dead space)."""
+        return self._tail

@@ -1,0 +1,139 @@
+"""Update-workload generators for maintenance experiments.
+
+The paper's Exp-4 applies "1000 random insertions (deletions)"; real
+deployments also see bursty and churn-heavy patterns. These generators
+produce reproducible update streams against a starting graph, used by the
+Fig 7 benchmark, the batch benchmark and the stress tests.
+
+All generators return ``[(op, u, v), ...]`` with ``op in {"insert",
+"delete"}``, consistent with :func:`repro.dynamic.batch.apply_batch`, and
+guarantee the stream is *applicable in order* (no duplicate inserts, no
+absent deletes) starting from the given graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.memgraph import Graph
+
+BatchOp = Tuple[str, int, int]
+
+
+def random_insertions(
+    graph: Graph, count: int, seed: Optional[int] = None
+) -> List[BatchOp]:
+    """Uniformly random absent pairs, each inserted once (paper Exp-4)."""
+    rng = np.random.default_rng(seed)
+    mutable = graph.to_mutable()
+    ops: List[BatchOp] = []
+    guard = 0
+    while len(ops) < count and guard < 200 * max(count, 1):
+        guard += 1
+        u = int(rng.integers(0, max(graph.n, 2)))
+        v = int(rng.integers(0, max(graph.n, 2)))
+        if u == v or mutable.has_edge(u, v):
+            continue
+        mutable.insert_edge(u, v)
+        ops.append(("insert", u, v))
+    return ops
+
+
+def random_deletions(
+    graph: Graph, count: int, seed: Optional[int] = None
+) -> List[BatchOp]:
+    """Uniformly sampled existing edges, each deleted once (paper Exp-4)."""
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(graph.m, size=min(count, graph.m), replace=False)
+    return [
+        ("delete", int(graph.edges[eid, 0]), int(graph.edges[eid, 1]))
+        for eid in chosen
+    ]
+
+
+def mixed_churn(
+    graph: Graph, count: int, insert_fraction: float = 0.5,
+    seed: Optional[int] = None,
+) -> List[BatchOp]:
+    """Interleaved insertions/deletions tracking the evolving edge set."""
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise ValueError("insert_fraction must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    mutable = graph.to_mutable()
+    ops: List[BatchOp] = []
+    guard = 0
+    while len(ops) < count and guard < 400 * max(count, 1):
+        guard += 1
+        want_insert = rng.random() < insert_fraction or mutable.m == 0
+        if want_insert:
+            u = int(rng.integers(0, max(graph.n, 2)))
+            v = int(rng.integers(0, max(graph.n, 2)))
+            if u == v or mutable.has_edge(u, v):
+                continue
+            mutable.insert_edge(u, v)
+            ops.append(("insert", u, v))
+        else:
+            live = mutable.live_edge_ids()
+            eid = live[int(rng.integers(0, len(live)))]
+            u, v = mutable.endpoints(eid)
+            mutable.delete_edge(u, v)
+            ops.append(("delete", u, v))
+    return ops
+
+
+def class_targeted_deletions(
+    graph: Graph, count: int, seed: Optional[int] = None
+) -> List[BatchOp]:
+    """Deletions drawn from the initial ``k_max``-class — the expensive
+    maintenance path (in-class cascades / global recomputes)."""
+    from ..baselines.inmemory import max_truss_edges
+
+    rng = np.random.default_rng(seed)
+    _, class_edges = max_truss_edges(graph)
+    if not class_edges:
+        return []
+    chosen = rng.choice(len(class_edges), size=min(count, len(class_edges)),
+                        replace=False)
+    return [("delete", *class_edges[i]) for i in chosen]
+
+
+def bursty_stream(
+    graph: Graph,
+    bursts: int,
+    burst_size: int,
+    seed: Optional[int] = None,
+) -> List[List[BatchOp]]:
+    """A sequence of churn micro-batches (for the batch-maintenance API)."""
+    rng = np.random.default_rng(seed)
+    mutable = graph.to_mutable()
+    batches: List[List[BatchOp]] = []
+    for _ in range(bursts):
+        frozen, _ = mutable.to_graph()
+        batch = mixed_churn(frozen, burst_size,
+                            seed=int(rng.integers(0, 2**31)))
+        for op, u, v in batch:
+            if op == "insert":
+                mutable.insert_edge(u, v)
+            else:
+                mutable.delete_edge(u, v)
+        batches.append(batch)
+    return batches
+
+
+def validate_stream(graph: Graph, ops: List[BatchOp]) -> bool:
+    """Check a stream is applicable in order from *graph* (tests helper)."""
+    mutable = graph.to_mutable()
+    for op, u, v in ops:
+        if op == "insert":
+            if u == v or mutable.has_edge(u, v):
+                return False
+            mutable.insert_edge(u, v)
+        elif op == "delete":
+            if not mutable.has_edge(u, v):
+                return False
+            mutable.delete_edge(u, v)
+        else:
+            return False
+    return True

@@ -1,0 +1,32 @@
+"""Graph representations, file formats, generators and dataset stand-ins."""
+
+from .memgraph import Graph, MutableGraph, canonical_edge_array
+from .disk_graph import DiskGraph
+from .edgelist import (
+    read_edgelist,
+    read_text_edgelist,
+    write_text_edgelist,
+    read_binary,
+    write_binary,
+    graph_to_bytes,
+    graph_from_bytes,
+    sniff_format,
+)
+from . import generators, datasets
+
+__all__ = [
+    "Graph",
+    "MutableGraph",
+    "DiskGraph",
+    "canonical_edge_array",
+    "read_edgelist",
+    "read_text_edgelist",
+    "write_text_edgelist",
+    "read_binary",
+    "write_binary",
+    "graph_to_bytes",
+    "graph_from_bytes",
+    "sniff_format",
+    "generators",
+    "datasets",
+]

@@ -1,0 +1,451 @@
+"""Named dataset stand-ins for the paper's benchmark graphs.
+
+The paper evaluates on 168 real graphs plus 3 synthetic ones, with a
+medium/large split of ten graphs for the performance study (Table I bold).
+Those datasets (Twitter: 1.4G edges, GSH: 1.8G, ...) are neither available
+offline nor executable in pure Python, so — per the substitution rule in
+DESIGN.md §2 — each benchmark graph is replaced by a *scaled-down synthetic
+stand-in that preserves its structural role*:
+
+* social networks → Chung–Lu power-law graphs;
+* web/hyperlink graphs → a dense planted core (clique) + power-law periphery
+  (these graphs' huge ``k_max`` comes from a small dense nucleus — exactly
+  the property SemiGreedyCore exploits, cf. Table II);
+* collaboration networks → planted core (co-star cliques) + sparse fringe;
+* road networks → grids with sparse diagonals;
+* Kron29 → an R-MAT/Kronecker instance.
+
+Every entry records the paper counterpart's published statistics so the
+benchmark harness can print paper-vs-measured tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import UnknownDatasetError
+from . import generators
+from .memgraph import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata + builder for one named stand-in graph."""
+
+    name: str
+    category: str
+    role: str  # "medium" | "large" | "survey"
+    builder: Callable[[int], Graph]
+    paper_name: str
+    paper_n: Optional[int] = None
+    paper_m: Optional[int] = None
+    paper_kmax: Optional[int] = None
+    paper_degeneracy: Optional[int] = None
+    description: str = ""
+
+    def build(self, seed: int = 0) -> Graph:
+        """Construct the stand-in graph (deterministic per seed)."""
+        return self.builder(seed)
+
+
+def _social(n: int, degree: float, exponent: float = 2.3):
+    def build(seed: int) -> Graph:
+        return generators.chung_lu(n, degree, exponent, seed=seed)
+
+    return build
+
+
+def _cored(core: int, periphery_n: int, degree: float = 6.0):
+    def build(seed: int) -> Graph:
+        return generators.planted_kmax_truss(
+            core, periphery_n=periphery_n, periphery_avg_degree=degree, seed=seed
+        )
+
+    return build
+
+
+def _dense(core_n: int, core_p: float, periphery_n: int, degree: float = 6.0):
+    def build(seed: int) -> Graph:
+        return generators.dense_community_graph(
+            core_n, core_p, periphery_n=periphery_n,
+            periphery_avg_degree=degree, seed=seed,
+        )
+
+    return build
+
+
+def _road(rows: int, cols: int):
+    def build(seed: int) -> Graph:
+        return generators.grid_road(rows, cols, diagonal_prob=0.05, seed=seed)
+
+    return build
+
+
+def _kron(scale: int, edge_factor: int):
+    def build(seed: int) -> Graph:
+        return generators.kronecker(scale, edge_factor, seed=seed)
+
+    return build
+
+
+def _geometric(n: int, radius: float):
+    def build(seed: int) -> Graph:
+        return generators.random_geometric(n, radius, seed=seed)
+
+    return build
+
+
+def _bipartite(left: int, right: int, p: float, extra_triangles: int = 0):
+    def build(seed: int) -> Graph:
+        base = generators.bipartite_random(left, right, p, seed=seed)
+        if extra_triangles == 0:
+            return base
+        # A few planted triangles give k_max 3-4 as in the paper's
+        # triangle-poor rows (Yahoo, IP) without lifting it further.
+        edges = [(int(u), int(v)) for u, v in base.edges]
+        n = base.n
+        for t in range(extra_triangles):
+            a, b, c = n + 3 * t, n + 3 * t + 1, n + 3 * t + 2
+            edges += [(a, b), (b, c), (a, c), (a, t % max(left, 1))]
+        return Graph.from_edges(edges, n=n + 3 * extra_triangles)
+
+    return build
+
+
+def _ba(n: int, attach: int):
+    def build(seed: int) -> Graph:
+        return generators.barabasi_albert(n, attach, seed=seed)
+
+    return build
+
+
+_SPECS: List[DatasetSpec] = [
+    # ---- Exp-1 medium-sized graphs (paper Table I bold, first five) ----
+    DatasetSpec(
+        "youtube-s", "social", "medium", _dense(55, 0.55, 2500, 6.0),
+        paper_name="Youtube", paper_n=3_200_000, paper_m=9_000_000,
+        paper_kmax=33, paper_degeneracy=88,
+        description="power-law social graph; small kmax relative to size",
+    ),
+    DatasetSpec(
+        "ctpatent-s", "citation", "medium", _dense(45, 0.55, 2300, 5.0),
+        paper_name="ctPatent", paper_n=3_800_000, paper_m=16_500_000,
+        paper_kmax=36, paper_degeneracy=64,
+        description="citation network; moderate degeneracy, modest kmax",
+    ),
+    DatasetSpec(
+        "hollywood-s", "collaboration", "medium", _cored(36, 1500, 6.0),
+        paper_name="Hollywood", paper_n=1_100_000, paper_m=113_800_000,
+        paper_kmax=2209, paper_degeneracy=2208,
+        description="collaboration graph: huge co-star clique core",
+    ),
+    DatasetSpec(
+        "wikipedia-s", "hyperlink", "medium", _dense(65, 0.5, 2200, 5.0),
+        paper_name="WikiPedia", paper_n=13_500_000, paper_m=437_000_000,
+        paper_kmax=1101, paper_degeneracy=1135,
+        description="hyperlink graph: dense template core",
+    ),
+    DatasetSpec(
+        "arabic-s", "hyperlink", "medium", _dense(88, 0.5, 3300, 5.0),
+        paper_name="Arabic", paper_n=22_700_000, paper_m=639_900_000,
+        paper_kmax=3248, paper_degeneracy=3247,
+        description="web crawl: very dense nucleus (TopDown hits INF here)",
+    ),
+    # ---- Exp-1 large-sized graphs (paper Table I bold, last five) ----
+    DatasetSpec(
+        "twitter-s", "social", "large", _dense(105, 0.45, 5000, 6.5),
+        paper_name="Twitter", paper_n=41_600_000, paper_m=1_400_000_000,
+        paper_kmax=1998, paper_degeneracy=2488,
+        description="social giant: celebrity clique core + power-law fringe",
+    ),
+    DatasetSpec(
+        "gsh-s", "hyperlink", "large", _dense(140, 0.5, 5500, 6.0),
+        paper_name="GSH", paper_n=68_600_000, paper_m=1_800_000_000,
+        paper_kmax=9923, paper_degeneracy=9955,
+        description="host-level web graph: the densest nucleus in the suite",
+    ),
+    DatasetSpec(
+        "sk-s", "hyperlink", "large", _dense(115, 0.48, 5000, 6.0),
+        paper_name="SK", paper_n=50_600_000, paper_m=1_900_000_000,
+        paper_kmax=4511, paper_degeneracy=4510,
+        description="web crawl with kmax == degeneracy + 1",
+    ),
+    DatasetSpec(
+        "uk-s", "hyperlink", "large", _dense(125, 0.5, 5800, 6.0),
+        paper_name="UK", paper_n=105_000_000, paper_m=3_300_000_000,
+        paper_kmax=5705, paper_degeneracy=5704,
+        description="largest web crawl in the paper",
+    ),
+    DatasetSpec(
+        "kron29-s", "synthetic", "large", _kron(11, 10),
+        paper_name="Kron29", paper_n=536_800_000, paper_m=5_900_000_000,
+        paper_kmax=1976, paper_degeneracy=3987,
+        description="Graph500 Kronecker; heavy-tailed with a dense core",
+    ),
+    # ---- survey graphs for Table I / Fig 8 sweeps ----
+    DatasetSpec(
+        "diseasome-s", "biological", "survey", _social(500, 5.0, 2.8),
+        paper_name="Diseasome", paper_n=500, paper_m=1200,
+        paper_kmax=11, paper_degeneracy=10,
+    ),
+    DatasetSpec(
+        "yeast-s", "biological", "survey", _social(1500, 2.6, 2.9),
+        paper_name="Yeast", paper_n=1500, paper_m=1900,
+        paper_kmax=6, paper_degeneracy=5,
+    ),
+    DatasetSpec(
+        "cahepph-s", "collaboration", "survey", _cored(24, 900, 5.0),
+        paper_name="caHepPh", paper_n=11_200, paper_m=117_600,
+        paper_kmax=239, paper_degeneracy=238,
+    ),
+    DatasetSpec(
+        "cagrqc-s", "collaboration", "survey", _cored(12, 600, 4.0),
+        paper_name="caGrQc", paper_n=4200, paper_m=13_400,
+        paper_kmax=44, paper_degeneracy=43,
+    ),
+    DatasetSpec(
+        "ctdblp-s", "citation", "survey", _ba(1200, 4),
+        paper_name="ctDBLP", paper_n=12_600, paper_m=49_600,
+        paper_kmax=9, paper_degeneracy=12,
+    ),
+    DatasetSpec(
+        "emdnc-s", "online-contact", "survey", _cored(15, 400, 5.0),
+        paper_name="emDNC", paper_n=900, paper_m=10_400,
+        paper_kmax=75, paper_degeneracy=74,
+    ),
+    DatasetSpec(
+        "euro-road-s", "infrastructure", "survey", _road(30, 40),
+        paper_name="Euro", paper_n=1200, paper_m=1400,
+        paper_kmax=3, paper_degeneracy=2,
+    ),
+    DatasetSpec(
+        "us-road-s", "infrastructure", "survey", _road(40, 50),
+        paper_name="US1", paper_n=129_200, paper_m=165_400,
+        paper_kmax=3, paper_degeneracy=3,
+    ),
+    DatasetSpec(
+        "epinions-s", "social", "survey", _social(2600, 7.5, 2.2),
+        paper_name="Epinions", paper_n=26_600, paper_m=100_100,
+        paper_kmax=18, paper_degeneracy=32,
+    ),
+    DatasetSpec(
+        "brightkite-s", "social", "survey", _cored(14, 1200, 6.0),
+        paper_name="Brightkite", paper_n=58_200, paper_m=214_100,
+        paper_kmax=43, paper_degeneracy=52,
+    ),
+    DatasetSpec(
+        "notre-s", "hyperlink", "survey", _cored(20, 1400, 4.5),
+        paper_name="Notre", paper_n=325_700, paper_m=1_100_000,
+        paper_kmax=155, paper_degeneracy=155,
+    ),
+    DatasetSpec(
+        "stanford-s", "hyperlink", "survey", _cored(16, 1600, 4.5),
+        paper_name="Stanford", paper_n=281_900, paper_m=2_000_000,
+        paper_kmax=62, paper_degeneracy=71,
+    ),
+    DatasetSpec(
+        "routers-s", "technological", "survey", _social(2100, 6.3, 2.4),
+        paper_name="Routers", paper_n=2100, paper_m=6600,
+        paper_kmax=16, paper_degeneracy=15,
+    ),
+    DatasetSpec(
+        "pgp-s", "technological", "survey", _social(2500, 4.5, 2.5),
+        paper_name="PGP", paper_n=10_700, paper_m=24_300,
+        paper_kmax=27, paper_degeneracy=31,
+    ),
+    DatasetSpec(
+        "jung-s", "software", "survey", _cored(10, 800, 4.0),
+        paper_name="Jung", paper_n=6100, paper_m=50_300,
+        paper_kmax=17, paper_degeneracy=65,
+    ),
+    DatasetSpec(
+        "eat-s", "lexical", "survey", _social(2300, 8.0, 2.1),
+        paper_name="EAT", paper_n=23_100, paper_m=297_100,
+        paper_kmax=9, paper_degeneracy=34,
+    ),
+    DatasetSpec(
+        "celegans-s", "biological", "survey", _social(450, 8.0, 2.6),
+        paper_name="Celegans", paper_n=500, paper_m=2000,
+        paper_kmax=9, paper_degeneracy=10,
+    ),
+    DatasetSpec(
+        "hscx-s", "biological", "survey", _dense(28, 0.6, 300, 5.0),
+        paper_name="HS-CX", paper_n=4400, paper_m=108_800,
+        paper_kmax=90, paper_degeneracy=98,
+    ),
+    DatasetSpec(
+        "hugene1-s", "biological", "survey", _dense(34, 0.65, 350, 6.0),
+        paper_name="HuGene1", paper_n=21_900, paper_m=12_300_000,
+        paper_kmax=1793, paper_degeneracy=2047,
+    ),
+    DatasetSpec(
+        "caastroph-s", "collaboration", "survey", _cored(14, 700, 5.0),
+        paper_name="caAstroPh", paper_n=17_900, paper_m=197_000,
+        paper_kmax=57, paper_degeneracy=56,
+    ),
+    DatasetSpec(
+        "cadblp-s", "collaboration", "survey", _cored(18, 800, 5.0),
+        paper_name="caDBLP", paper_n=540_500, paper_m=15_200_000,
+        paper_kmax=337, paper_degeneracy=336,
+    ),
+    DatasetSpec(
+        "cthepth-s", "citation", "survey", _dense(30, 0.55, 500, 5.0),
+        paper_name="ctHepTh", paper_n=22_900, paper_m=2_400_000,
+        paper_kmax=562, paper_degeneracy=561,
+    ),
+    DatasetSpec(
+        "comenron-s", "online-contact", "survey", _social(1200, 6.0, 2.2),
+        paper_name="comEnron", paper_n=87_000, paper_m=297_500,
+        paper_kmax=36, paper_degeneracy=53,
+    ),
+    DatasetSpec(
+        "emeuall-s", "online-contact", "survey", _social(1500, 3.0, 2.1),
+        paper_name="emEuAll", paper_n=265_000, paper_m=364_500,
+        paper_kmax=20, paper_degeneracy=37,
+    ),
+    DatasetSpec(
+        "openflights-s", "infrastructure", "survey", _social(800, 9.0, 2.4),
+        paper_name="Openflights", paper_n=2900, paper_m=15_700,
+        paper_kmax=23, paper_degeneracy=28,
+    ),
+    DatasetSpec(
+        "germany-road-s", "infrastructure", "survey", _road(35, 45),
+        paper_name="Germany", paper_n=11_500_000, paper_m=12_400_000,
+        paper_kmax=3, paper_degeneracy=3,
+    ),
+    DatasetSpec(
+        "gowalla-s", "social", "survey", _social(2000, 8.0, 2.2),
+        paper_name="Gowalla", paper_n=196_600, paper_m=950_300,
+        paper_kmax=29, paper_degeneracy=51,
+    ),
+    DatasetSpec(
+        "orkut-s", "social", "survey", _dense(40, 0.5, 2500, 7.0),
+        paper_name="Orkut", paper_n=3_000_000, paper_m=106_300_000,
+        paper_kmax=75, paper_degeneracy=230,
+    ),
+    DatasetSpec(
+        "livejournal-s", "social", "survey", _dense(36, 0.55, 2200, 6.0),
+        paper_name="Livejournal", paper_n=4_000_000, paper_m=27_900_000,
+        paper_kmax=214, paper_degeneracy=213,
+    ),
+    DatasetSpec(
+        "flickr-s", "social", "survey", _dense(30, 0.55, 1500, 7.0),
+        paper_name="Flickr", paper_n=1_700_000, paper_m=15_600_000,
+        paper_kmax=153, paper_degeneracy=309,
+    ),
+    DatasetSpec(
+        "berkstan-s", "hyperlink", "survey", _dense(26, 0.6, 1200, 5.0),
+        paper_name="BerkStan", paper_n=685_200, paper_m=6_600_000,
+        paper_kmax=201, paper_degeneracy=201,
+    ),
+    DatasetSpec(
+        "wikieo-s", "hyperlink", "survey", _dense(32, 0.6, 1000, 5.0),
+        paper_name="WikiEO", paper_n=413_000, paper_m=8_200_000,
+        paper_kmax=689, paper_degeneracy=688,
+    ),
+    DatasetSpec(
+        "skitter-s", "technological", "survey", _social(2200, 9.0, 2.15),
+        paper_name="Skitter", paper_n=1_700_000, paper_m=11_100_000,
+        paper_kmax=68, paper_degeneracy=111,
+    ),
+    DatasetSpec(
+        "linux-s", "software", "survey", _social(1600, 6.0, 2.1),
+        paper_name="Linux", paper_n=30_800, paper_m=213_200,
+        paper_kmax=10, paper_degeneracy=23,
+    ),
+    DatasetSpec(
+        "bible-s", "lexical", "survey", _social(600, 7.5, 2.4),
+        paper_name="Bible", paper_n=1800, paper_m=9100,
+        paper_kmax=11, paper_degeneracy=15,
+    ),
+    DatasetSpec(
+        "misamazon-s", "miscellaneous", "survey", _ba(1800, 3),
+        paper_name="misAmazon", paper_n=403_400, paper_m=2_400_000,
+        paper_kmax=11, paper_degeneracy=10,
+    ),
+    DatasetSpec(
+        "misactor-s", "miscellaneous", "survey", _cored(22, 900, 6.0),
+        paper_name="misActor", paper_n=382_200, paper_m=15_000_000,
+        paper_kmax=294, paper_degeneracy=365,
+    ),
+    DatasetSpec(
+        "yahoo-s", "lexical", "survey", _bipartite(60, 400, 0.25, extra_triangles=2),
+        paper_name="Yahoo", paper_n=653_300, paper_m=2_900_000,
+        paper_kmax=3, paper_degeneracy=29,
+        description="bipartite-flavoured: degeneracy dwarfs k_max",
+    ),
+    DatasetSpec(
+        "ip-s", "technological", "survey", _bipartite(40, 600, 0.3, extra_triangles=3),
+        paper_name="IP", paper_n=2_300_000, paper_m=21_600_000,
+        paper_kmax=4, paper_degeneracy=253,
+    ),
+    DatasetSpec(
+        "calmdb-s", "collaboration", "survey", _bipartite(80, 300, 0.15, extra_triangles=1),
+        paper_name="calMDB", paper_n=896_300, paper_m=3_800_000,
+        paper_kmax=3, paper_degeneracy=23,
+    ),
+    DatasetSpec(
+        "dbpedia-team-s", "online-contact", "survey", _bipartite(50, 250, 0.12, extra_triangles=1),
+        paper_name="dbpedia-team", paper_n=365_000, paper_m=780_000,
+        paper_kmax=3, paper_degeneracy=9,
+    ),
+    DatasetSpec(
+        "wikitalk-s", "social", "survey", _bipartite(45, 500, 0.2, extra_triangles=8),
+        paper_name="wikiTalk", paper_n=2_400_000, paper_m=4_700_000,
+        paper_kmax=53, paper_degeneracy=131,
+        description="talk-page hubs: high coreness, far lower trussness",
+    ),
+    DatasetSpec(
+        "cl-1m-s", "synthetic", "survey", _social(4000, 5.4, 2.5),
+        paper_name="CL-1000000", paper_n=910_000, paper_m=2_700_000,
+        paper_kmax=4, paper_degeneracy=12,
+    ),
+    DatasetSpec(
+        "geo1k-40k-s", "synthetic", "survey", _geometric(1000, 0.11),
+        paper_name="geo1k-40k", paper_n=1000, paper_m=40_000,
+        paper_kmax=34, paper_degeneracy=47,
+    ),
+]
+
+_REGISTRY: Dict[str, DatasetSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def dataset_names(role: Optional[str] = None, category: Optional[str] = None) -> List[str]:
+    """Names in the registry, optionally filtered by role and/or category."""
+    return [
+        spec.name
+        for spec in _SPECS
+        if (role is None or spec.role == role)
+        and (category is None or spec.category == category)
+    ]
+
+
+def medium_datasets() -> List[str]:
+    """The five Exp-1 medium-sized stand-ins (Fig 5 a/c/e)."""
+    return dataset_names(role="medium")
+
+
+def large_datasets() -> List[str]:
+    """The five Exp-1 large-sized stand-ins (Fig 5 b/d/f)."""
+    return dataset_names(role="large")
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownDatasetError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+def load_dataset(name: str, seed: int = 0) -> Graph:
+    """Build the stand-in graph for *name* (deterministic per seed)."""
+    return get_spec(name).build(seed)
+
+
+def load_dataset_with_spec(name: str, seed: int = 0) -> Tuple[Graph, DatasetSpec]:
+    """Convenience: ``(graph, spec)`` in one call."""
+    spec = get_spec(name)
+    return spec.build(seed), spec

@@ -1,0 +1,366 @@
+"""Graph generators.
+
+These provide the workloads for tests and benchmarks: classic random-graph
+families, structural stand-ins for the paper's datasets (see
+:mod:`repro.graph.datasets`), and the synthetic word-association network used
+to reproduce the Fig 9 case study.
+
+All generators are deterministic given a ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .memgraph import Graph, canonical_edge_array
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# --------------------------------------------------------------------- #
+# deterministic small graphs
+# --------------------------------------------------------------------- #
+
+
+def complete_graph(n: int) -> Graph:
+    """The clique ``K_n`` (its ``k_max`` equals ``n`` for ``n >= 2``)."""
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return Graph.from_edges(edges, n=n)
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n`` (triangle-free for ``n > 3``, so ``k_max = 2``)."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    return Graph.from_edges([(i, (i + 1) % n) for i in range(n)], n=n)
+
+
+def star_graph(leaves: int) -> Graph:
+    """A star with hub 0 (``k_max = 2``: no triangles)."""
+    return Graph.from_edges([(0, i) for i in range(1, leaves + 1)], n=leaves + 1)
+
+
+def paper_example_graph() -> Graph:
+    """A faithful stand-in for the paper's Fig 1 running example.
+
+    Two ``K_4`` blocks ``{0,1,2,3}`` and ``{4,5,6,7}`` bridged by edges
+    ``(1,4), (2,4), (3,4)``. Its ``k_max`` is 4 with every edge in the
+    ``k_max``-truss; inserting ``(0, 4)`` completes ``K_5`` on ``{0..4}``
+    raising ``k_max`` to 5, and deleting ``(1, 4)`` cascades ``(2,4), (3,4)``
+    out of the truss — exactly the behaviours walked through in the paper's
+    Examples 1, 5 and 6 (vertex ``i`` here is the paper's ``v_{i+1}``).
+    """
+    edges = [
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),       # K4 on {0..3}
+        (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),       # K4 on {4..7}
+        (1, 4), (2, 4), (3, 4),                               # bridge
+    ]
+    return Graph.from_edges(edges, n=8)
+
+
+# --------------------------------------------------------------------- #
+# random families
+# --------------------------------------------------------------------- #
+
+
+def gnp_random(n: int, p: float, seed: Optional[int] = None) -> Graph:
+    """Erdős–Rényi ``G(n, p)``."""
+    rng = _rng(seed)
+    if n < 2 or p <= 0:
+        return Graph.empty(max(n, 0))
+    rows, cols = np.triu_indices(n, k=1)
+    keep = rng.random(len(rows)) < p
+    return Graph(n, np.stack([rows[keep], cols[keep]], axis=1))
+
+
+def gnm_random(n: int, m: int, seed: Optional[int] = None) -> Graph:
+    """Uniform random graph with (up to) *m* distinct edges."""
+    rng = _rng(seed)
+    if n < 2 or m <= 0:
+        return Graph.empty(max(n, 0))
+    max_edges = n * (n - 1) // 2
+    m = min(m, max_edges)
+    chosen = set()
+    while len(chosen) < m:
+        batch = rng.integers(0, n, size=(2 * (m - len(chosen)) + 8, 2))
+        for u, v in batch:
+            if u != v:
+                chosen.add((min(u, v), max(u, v)))
+                if len(chosen) == m:
+                    break
+    return Graph(n, np.array(sorted(chosen), dtype=np.int64))
+
+
+def chung_lu(
+    n: int,
+    average_degree: float = 8.0,
+    exponent: float = 2.5,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Power-law random graph (Chung–Lu model).
+
+    Vertex weights follow ``w_i ∝ i^{-1/(exponent-1)}``; edges are sampled by
+    drawing endpoint pairs proportionally to weight. Stand-in family for the
+    paper's social networks (and its ``CL-1000000`` synthetic graph).
+    """
+    rng = _rng(seed)
+    if n < 2:
+        return Graph.empty(max(n, 0))
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    probabilities = weights / weights.sum()
+    target_edges = int(average_degree * n / 2)
+    endpoints = rng.choice(n, size=(int(target_edges * 1.3) + 16, 2), p=probabilities)
+    keep = endpoints[:, 0] != endpoints[:, 1]
+    edges = canonical_edge_array(endpoints[keep])
+    if len(edges) > target_edges:
+        picked = rng.choice(len(edges), size=target_edges, replace=False)
+        edges = edges[np.sort(picked)]
+    return Graph(n, edges)
+
+
+def barabasi_albert(n: int, attach: int = 4, seed: Optional[int] = None) -> Graph:
+    """Preferential-attachment graph (Barabási–Albert)."""
+    rng = _rng(seed)
+    attach = max(1, attach)
+    if n <= attach:
+        return complete_graph(max(n, 0))
+    edges: List[Tuple[int, int]] = [
+        (u, v) for u in range(attach) for v in range(u + 1, attach)
+    ]
+    targets = list(range(attach))
+    repeated: List[int] = list(range(attach))
+    for source in range(attach, n):
+        chosen = set()
+        while len(chosen) < attach:
+            pick = repeated[rng.integers(0, len(repeated))]
+            if pick != source:
+                chosen.add(int(pick))
+        for target in chosen:
+            edges.append((source, target))
+            repeated.append(target)
+            repeated.append(source)
+        targets.append(source)
+    return Graph.from_edges(edges, n=n)
+
+
+def kronecker(
+    scale: int,
+    edge_factor: int = 16,
+    seed: Optional[int] = None,
+    initiator: Tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+) -> Graph:
+    """Graph500-style stochastic Kronecker (R-MAT) generator.
+
+    ``2**scale`` vertices, ``edge_factor * 2**scale`` sampled edge slots.
+    This is the stand-in for the paper's ``Kron29`` synthetic graph.
+    """
+    rng = _rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    a, b, c, _d = initiator
+    ab = a + b
+    c_norm = c / (1 - ab) if ab < 1 else 0.5
+    u = np.zeros(m, dtype=np.int64)
+    v = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        bit = 1 << level
+        go_right = rng.random(m) > ab
+        # Within each half, choose the column bit with the conditional prob.
+        threshold = np.where(go_right, c_norm, a / ab if ab > 0 else 0.5)
+        col_bit = rng.random(m) > threshold
+        u += bit * go_right
+        v += bit * col_bit
+    # Permute vertex labels to break the degree-locality artefact.
+    permutation = rng.permutation(n)
+    edges = np.stack([permutation[u], permutation[v]], axis=1)
+    return Graph(n, edges)
+
+
+def random_geometric(n: int, radius: float, seed: Optional[int] = None) -> Graph:
+    """Random geometric graph on the unit square (grid-bucketed).
+
+    Stand-in for the paper's ``geo1k-40k`` synthetic graph.
+    """
+    rng = _rng(seed)
+    points = rng.random((n, 2))
+    cell = max(radius, 1e-9)
+    grid_index = np.floor(points / cell).astype(np.int64)
+    buckets = {}
+    for index, (gx, gy) in enumerate(grid_index):
+        buckets.setdefault((int(gx), int(gy)), []).append(index)
+    edges: List[Tuple[int, int]] = []
+    radius_sq = radius * radius
+    for (gx, gy), members in buckets.items():
+        neighbours_cells = [
+            (gx + dx, gy + dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)
+        ]
+        candidate_lists = [buckets.get(cell_key, []) for cell_key in neighbours_cells]
+        candidates = [index for lst in candidate_lists for index in lst]
+        for u in members:
+            pu = points[u]
+            for w in candidates:
+                if w <= u:
+                    continue
+                delta = points[w] - pu
+                if delta[0] * delta[0] + delta[1] * delta[1] <= radius_sq:
+                    edges.append((u, w))
+    return Graph.from_edges(edges, n=n)
+
+
+def grid_road(rows: int, cols: int, diagonal_prob: float = 0.05,
+              seed: Optional[int] = None) -> Graph:
+    """Grid with sparse diagonals — a road-network stand-in (tiny ``k_max``)."""
+    rng = _rng(seed)
+    edges: List[Tuple[int, int]] = []
+
+    def vid(r: int, col: int) -> int:
+        return r * cols + col
+
+    for r in range(rows):
+        for col in range(cols):
+            if col + 1 < cols:
+                edges.append((vid(r, col), vid(r, col + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, col), vid(r + 1, col)))
+            if r + 1 < rows and col + 1 < cols and rng.random() < diagonal_prob:
+                edges.append((vid(r, col), vid(r + 1, col + 1)))
+    return Graph.from_edges(edges, n=rows * cols)
+
+
+# --------------------------------------------------------------------- #
+# planted-structure generators (known ground truth)
+# --------------------------------------------------------------------- #
+
+
+def planted_kmax_truss(
+    core_size: int,
+    periphery_n: int = 200,
+    periphery_avg_degree: float = 6.0,
+    attachments: int = 2,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A clique ``K_{core_size}`` plus a sparse power-law periphery.
+
+    The clique's edges have trussness ``core_size``; as long as the periphery
+    stays sparse its trussness is far below, so ``k_max = core_size`` with
+    the clique as the ``k_max``-truss. Used wherever a known answer is
+    needed (hyperlink-graph stand-ins share this dense-core shape).
+    """
+    if core_size < 3:
+        raise ValueError("core_size must be at least 3 to plant a truss")
+    rng = _rng(seed)
+    edges = [(u, v) for u in range(core_size) for v in range(u + 1, core_size)]
+    periphery = chung_lu(periphery_n, periphery_avg_degree, seed=None if seed is None else seed + 1)
+    for u, v in periphery.edges:
+        edges.append((int(u) + core_size, int(v) + core_size))
+    # Sparse attachments from periphery to the core.
+    for vertex in range(core_size, core_size + periphery_n):
+        for _ in range(attachments):
+            if rng.random() < 0.15:
+                edges.append((int(rng.integers(0, core_size)), vertex))
+    return Graph.from_edges(edges, n=core_size + periphery_n)
+
+
+def bipartite_random(
+    left: int, right: int, p: float, seed: Optional[int] = None
+) -> Graph:
+    """Random bipartite graph ``B(left, right, p)`` — triangle-free.
+
+    Stand-in family for the paper's triangle-poor networks (Yahoo, IP,
+    calMDB, dbpedia-team, ...) whose degeneracy dwarfs their ``k_max``
+    of 3–4: dense bipartite blocks have high coreness but no triangles.
+    """
+    rng = _rng(seed)
+    if left < 1 or right < 1 or p <= 0:
+        return Graph.empty(max(left + right, 0))
+    mask = rng.random((left, right)) < p
+    rows, cols = np.nonzero(mask)
+    edges = np.stack([rows, cols + left], axis=1)
+    return Graph(left + right, edges)
+
+
+def dense_community_graph(
+    core_n: int,
+    core_p: float,
+    periphery_n: int = 1000,
+    periphery_avg_degree: float = 6.0,
+    attachment_prob: float = 0.1,
+    seed: Optional[int] = None,
+) -> Graph:
+    """A dense G(n, p) block + power-law periphery — web/social stand-in.
+
+    Unlike :func:`planted_kmax_truss` (whose clique core collapses the
+    candidate subgraph to a handful of edges), the dense-but-not-complete
+    block keeps the final peel phase busy with high-support edges — the
+    regime where LHDH's lazy updates pay off (paper Fig 5 c-d). ``k_max``
+    is governed by the block.
+    """
+    rng = _rng(seed)
+    core = gnp_random(core_n, core_p, seed=None if seed is None else seed + 17)
+    edges = [(int(u), int(v)) for u, v in core.edges]
+    periphery = chung_lu(
+        periphery_n, periphery_avg_degree, seed=None if seed is None else seed + 31
+    )
+    for u, v in periphery.edges:
+        edges.append((int(u) + core_n, int(v) + core_n))
+    for vertex in range(core_n, core_n + periphery_n):
+        if rng.random() < attachment_prob:
+            edges.append((int(rng.integers(0, core_n)), vertex))
+    return Graph.from_edges(edges, n=core_n + periphery_n)
+
+
+_THEMES = (
+    "alcohol", "music", "ocean", "winter", "kitchen",
+    "forest", "city", "sport", "space", "desert",
+)
+
+
+def word_association(
+    num_communities: int = 3,
+    community_size: int = 10,
+    intra_missing: float = 0.15,
+    noise_words: int = 40,
+    noise_degree: int = 3,
+    seed: Optional[int] = None,
+) -> Tuple[Graph, List[str]]:
+    """Synthetic word-association network for the Fig 9 case study.
+
+    Each community is a near-clique on themed words with a fraction
+    ``intra_missing`` of pairs unconnected — the "BOTTLE/DRINK not
+    edge-connected" situation that defeats the k-clique model while the
+    ``k_max``-truss still recovers the whole community. Noise words attach
+    with low degree, inflating the maximum k-core beyond any community.
+
+    Returns ``(graph, labels)`` with one label per vertex.
+    """
+    rng = _rng(seed)
+    if num_communities > len(_THEMES):
+        raise ValueError(f"at most {len(_THEMES)} themed communities supported")
+    edges: List[Tuple[int, int]] = []
+    labels: List[str] = []
+    for community in range(num_communities):
+        base = community * community_size
+        theme = _THEMES[community]
+        labels.extend(f"{theme}_{i}" for i in range(community_size))
+        for i in range(community_size):
+            for j in range(i + 1, community_size):
+                if rng.random() >= intra_missing:
+                    edges.append((base + i, base + j))
+        # One inter-community bridge word pair keeps the graph connected.
+        if community:
+            edges.append((base, base - community_size))
+    first_noise = num_communities * community_size
+    labels.extend(f"noise_{i}" for i in range(noise_words))
+    total = first_noise + noise_words
+    for vertex in range(first_noise, total):
+        degree = int(rng.integers(1, noise_degree + 1))
+        for _ in range(degree):
+            target = int(rng.integers(0, vertex))
+            if target != vertex:
+                edges.append((target, vertex))
+    return Graph.from_edges(edges, n=total), labels

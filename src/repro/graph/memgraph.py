@@ -1,0 +1,401 @@
+"""In-memory graph representations.
+
+Two classes:
+
+* :class:`Graph` — an immutable CSR graph with canonical ``u < v`` edge ids.
+  All static algorithms consume this form (or its on-disk mirror,
+  :class:`repro.graph.disk_graph.DiskGraph`).
+* :class:`MutableGraph` — a dict-of-dicts adjacency with stable edge ids,
+  used by the dynamic-maintenance algorithms where edges come and go.
+
+Edge identity: edge ``i`` is the pair ``(edges[i, 0], edges[i, 1])`` with
+``edges[i, 0] < edges[i, 1]``; for :class:`Graph`, ids follow lexicographic
+order of the pairs, so ``edge_id`` is a binary search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+
+EdgePair = Tuple[int, int]
+
+
+def canonical_edge_array(edges: Iterable[EdgePair]) -> np.ndarray:
+    """Normalise an edge iterable: int64 ``(m, 2)``, ``u < v``, deduplicated,
+    self-loops dropped, lexicographically sorted."""
+    array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if array.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise GraphFormatError(f"edge array must have shape (m, 2), got {array.shape}")
+    array = array.astype(np.int64, copy=True)
+    if array.min() < 0:
+        raise GraphFormatError("vertex ids must be non-negative")
+    low = np.minimum(array[:, 0], array[:, 1])
+    high = np.maximum(array[:, 0], array[:, 1])
+    keep = low != high
+    low, high = low[keep], high[keep]
+    stacked = np.stack([low, high], axis=1)
+    if len(stacked) == 0:
+        return stacked
+    order = np.lexsort((stacked[:, 1], stacked[:, 0]))
+    stacked = stacked[order]
+    distinct = np.ones(len(stacked), dtype=bool)
+    distinct[1:] = np.any(stacked[1:] != stacked[:-1], axis=1)
+    return stacked[distinct]
+
+
+class Graph:
+    """Immutable undirected graph in CSR form with edge ids.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices (ids ``0..n-1``; isolated vertices allowed).
+    m:
+        Number of edges.
+    edges:
+        ``(m, 2)`` int64 array, each row ``(u, v)`` with ``u < v``, sorted.
+    offsets / adj / adj_eids:
+        CSR adjacency: neighbours of ``v`` are
+        ``adj[offsets[v]:offsets[v+1]]`` (sorted ascending) and the edge id at
+        each position is ``adj_eids[...]``.
+    """
+
+    __slots__ = ("n", "m", "edges", "offsets", "adj", "adj_eids")
+
+    def __init__(self, n: int, edges: np.ndarray) -> None:
+        edges = canonical_edge_array(edges)
+        if len(edges) and edges.max() >= n:
+            raise GraphFormatError(
+                f"edge endpoint {int(edges.max())} >= vertex count {n}"
+            )
+        self.n = int(n)
+        self.m = len(edges)
+        self.edges = edges
+        self._build_csr()
+
+    def _build_csr(self) -> None:
+        degrees = np.zeros(self.n, dtype=np.int64)
+        if self.m:
+            np.add.at(degrees, self.edges[:, 0], 1)
+            np.add.at(degrees, self.edges[:, 1], 1)
+        self.offsets = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=self.offsets[1:])
+        self.adj = np.zeros(2 * self.m, dtype=np.int64)
+        self.adj_eids = np.zeros(2 * self.m, dtype=np.int64)
+        cursor = self.offsets[:-1].copy()
+        for eid in range(self.m):
+            u, v = self.edges[eid]
+            self.adj[cursor[u]] = v
+            self.adj_eids[cursor[u]] = eid
+            cursor[u] += 1
+            self.adj[cursor[v]] = u
+            self.adj_eids[cursor[v]] = eid
+            cursor[v] += 1
+        # Sort each adjacency list by neighbour id (keeps eids aligned).
+        for v in range(self.n):
+            start, stop = self.offsets[v], self.offsets[v + 1]
+            if stop - start > 1:
+                order = np.argsort(self.adj[start:stop], kind="mergesort")
+                self.adj[start:stop] = self.adj[start:stop][order]
+                self.adj_eids[start:stop] = self.adj_eids[start:stop][order]
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[EdgePair], n: Optional[int] = None) -> "Graph":
+        """Build a graph from an edge iterable; ``n`` defaults to
+        ``max vertex id + 1``."""
+        array = canonical_edge_array(edges)
+        if n is None:
+            n = int(array.max()) + 1 if len(array) else 0
+        return cls(n, array)
+
+    @classmethod
+    def empty(cls, n: int = 0) -> "Graph":
+        """An edgeless graph on *n* vertices."""
+        return cls(n, np.empty((0, 2), dtype=np.int64))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex *v*."""
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree array of length ``n``."""
+        return np.diff(self.offsets)
+
+    @property
+    def max_degree(self) -> int:
+        """``d_max(G)``; 0 for an edgeless graph."""
+        return int(self.degrees.max()) if self.n else 0
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour ids of *v* (a view — do not mutate)."""
+        return self.adj[self.offsets[v] : self.offsets[v + 1]]
+
+    def neighbor_eids(self, v: int) -> np.ndarray:
+        """Edge ids aligned with :meth:`neighbors` (a view)."""
+        return self.adj_eids[self.offsets[v] : self.offsets[v + 1]]
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Edge id of ``(u, v)`` or ``-1`` if absent (binary search)."""
+        if u > v:
+            u, v = v, u
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        if pos < len(nbrs) and nbrs[pos] == v:
+            return int(self.neighbor_eids(u)[pos])
+        return -1
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` exists."""
+        return self.edge_id(u, v) >= 0
+
+    def triangle_count(self) -> int:
+        """Total number of distinct triangles (each counted once)."""
+        return int(self.edge_supports().sum()) // 3
+
+    def edge_supports(self) -> np.ndarray:
+        """Per-edge support (triangles through each edge), in edge-id order.
+
+        Vectorised merge-free intersection via a neighbour marker array —
+        the in-memory analogue of the semi-external scan in
+        :mod:`repro.semiexternal.support`.
+        """
+        support = np.zeros(self.m, dtype=np.int64)
+        if self.m == 0:
+            return support
+        marker = np.full(self.n, -1, dtype=np.int64)
+        marker_eid = np.zeros(self.n, dtype=np.int64)
+        for u in range(self.n):
+            nbrs = self.neighbors(u)
+            eids = self.neighbor_eids(u)
+            marker[nbrs] = u
+            marker_eid[nbrs] = eids
+            for index in range(len(nbrs)):
+                v = nbrs[index]
+                if v <= u:
+                    continue
+                uv_eid = eids[index]
+                wnbrs = self.neighbors(v)
+                weids = self.neighbor_eids(v)
+                hits = marker[wnbrs] == u
+                if not hits.any():
+                    continue
+                count = 0
+                for w, vw_eid in zip(wnbrs[hits], weids[hits]):
+                    if w > v:  # count each triangle at its smallest vertex pair
+                        count += 1
+                        support[vw_eid] += 1
+                        support[marker_eid[w]] += 1
+                if count:
+                    support[uv_eid] += count
+        # Each triangle (u<v<w) was attributed: +count to (u,v), +1 to (v,w)
+        # and +1 to (u,w); but (u,v) also participates in triangles where it
+        # is not the smallest pair. Fix by a second symmetric pass below.
+        return self._complete_supports(support)
+
+    def _complete_supports(self, support: np.ndarray) -> np.ndarray:
+        # The single-orientation pass above already credits all three edges
+        # of each triangle exactly once, so nothing further is needed; kept
+        # as a hook for the tested invariant sum(sup) == 3 * triangles.
+        return support
+
+    # ------------------------------------------------------------------ #
+    # subgraphs
+    # ------------------------------------------------------------------ #
+
+    def subgraph_by_nodes(self, nodes: Sequence[int]) -> Tuple["Graph", np.ndarray, np.ndarray]:
+        """Induced subgraph on *nodes* with **relabelled** vertices.
+
+        Returns ``(subgraph, node_map, edge_map)`` where ``node_map[i]`` is
+        the original id of subgraph vertex ``i`` and ``edge_map[j]`` is the
+        original edge id of subgraph edge ``j``.
+        """
+        node_map = np.unique(np.asarray(nodes, dtype=np.int64))
+        if len(node_map) and (node_map[0] < 0 or node_map[-1] >= self.n):
+            raise GraphFormatError("subgraph nodes out of range")
+        inverse = np.full(self.n, -1, dtype=np.int64)
+        inverse[node_map] = np.arange(len(node_map))
+        if self.m:
+            keep = (inverse[self.edges[:, 0]] >= 0) & (inverse[self.edges[:, 1]] >= 0)
+            edge_map = np.nonzero(keep)[0].astype(np.int64)
+            sub_edges = inverse[self.edges[keep]]
+        else:
+            edge_map = np.empty(0, dtype=np.int64)
+            sub_edges = np.empty((0, 2), dtype=np.int64)
+        return Graph(len(node_map), sub_edges), node_map, edge_map
+
+    def subgraph_by_edges(self, edge_ids: Sequence[int]) -> Tuple["Graph", np.ndarray, np.ndarray]:
+        """Subgraph containing exactly the given edges (vertices relabelled).
+
+        Returns ``(subgraph, node_map, edge_map)`` as in
+        :meth:`subgraph_by_nodes`; ``edge_map`` is the sorted unique input.
+        """
+        edge_ids = np.unique(np.asarray(edge_ids, dtype=np.int64))
+        if len(edge_ids) and (edge_ids[0] < 0 or edge_ids[-1] >= self.m):
+            raise GraphFormatError("subgraph edge ids out of range")
+        pairs = self.edges[edge_ids]
+        node_map = np.unique(pairs)
+        inverse = np.full(self.n, -1, dtype=np.int64)
+        inverse[node_map] = np.arange(len(node_map))
+        return Graph(len(node_map), inverse[pairs]), node_map, edge_ids
+
+    def edge_induced_support(self, edge_ids: Sequence[int]) -> Dict[int, int]:
+        """Support of each edge restricted to the subgraph formed by
+        *edge_ids* (keyed by original edge id)."""
+        sub, _, edge_map = self.subgraph_by_edges(edge_ids)
+        sups = sub.edge_supports()
+        return {int(edge_map[i]): int(sups[i]) for i in range(len(edge_map))}
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+
+    def to_mutable(self) -> "MutableGraph":
+        """Copy into a :class:`MutableGraph` preserving edge ids."""
+        mutable = MutableGraph(self.n)
+        for eid in range(self.m):
+            u, v = self.edges[eid]
+            mutable._insert_with_eid(int(u), int(v), eid)
+        return mutable
+
+    def edge_pairs(self) -> List[EdgePair]:
+        """Edges as a list of ``(u, v)`` tuples (small graphs / tests)."""
+        return [(int(u), int(v)) for u, v in self.edges]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(n={self.n}, m={self.m})"
+
+
+class MutableGraph:
+    """Undirected graph with O(1) insert/delete and stable edge ids.
+
+    Edge ids are assigned on insertion and never reused; deleted ids become
+    tombstones. The dynamic-maintenance algorithms operate on this class.
+    """
+
+    def __init__(self, n: int = 0) -> None:
+        self.n = int(n)
+        self._adj: Dict[int, Dict[int, int]] = {}
+        self._edge_endpoints: Dict[int, EdgePair] = {}
+        self._next_eid = 0
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def _ensure_vertex(self, v: int) -> None:
+        if v < 0:
+            raise GraphFormatError("vertex ids must be non-negative")
+        if v >= self.n:
+            self.n = v + 1
+
+    def _insert_with_eid(self, u: int, v: int, eid: int) -> None:
+        self._adj.setdefault(u, {})[v] = eid
+        self._adj.setdefault(v, {})[u] = eid
+        self._edge_endpoints[eid] = (min(u, v), max(u, v))
+        self._next_eid = max(self._next_eid, eid + 1)
+
+    def insert_edge(self, u: int, v: int) -> int:
+        """Insert edge ``(u, v)``; returns its edge id. Re-inserting an
+        existing edge returns the existing id. Self-loops are rejected."""
+        if u == v:
+            raise GraphFormatError("self-loops are not allowed")
+        self._ensure_vertex(u)
+        self._ensure_vertex(v)
+        existing = self._adj.get(u, {}).get(v)
+        if existing is not None:
+            return existing
+        eid = self._next_eid
+        self._insert_with_eid(u, v, eid)
+        return eid
+
+    def delete_edge(self, u: int, v: int) -> int:
+        """Delete edge ``(u, v)``; returns its (now dead) edge id."""
+        eid = self._adj.get(u, {}).get(v)
+        if eid is None:
+            raise GraphFormatError(f"edge ({u}, {v}) not present")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        del self._edge_endpoints[eid]
+        return eid
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def m(self) -> int:
+        """Number of live edges."""
+        return len(self._edge_endpoints)
+
+    def degree(self, v: int) -> int:
+        """Degree of *v* (0 for unknown vertices)."""
+        return len(self._adj.get(v, {}))
+
+    def neighbors(self, v: int) -> Dict[int, int]:
+        """Mapping ``neighbor -> edge id`` for *v* (live view)."""
+        return self._adj.get(v, {})
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` is live."""
+        return v in self._adj.get(u, {})
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Edge id of a live edge, or ``-1``."""
+        return self._adj.get(u, {}).get(v, -1)
+
+    def endpoints(self, eid: int) -> EdgePair:
+        """Endpoints ``(u, v)`` with ``u < v`` of a live edge id."""
+        return self._edge_endpoints[eid]
+
+    def live_edge_ids(self) -> List[int]:
+        """All live edge ids (unspecified order)."""
+        return list(self._edge_endpoints)
+
+    def common_neighbors(self, u: int, v: int) -> List[int]:
+        """Vertices adjacent to both *u* and *v* (iterates the smaller list)."""
+        first, second = self._adj.get(u, {}), self._adj.get(v, {})
+        if len(first) > len(second):
+            first, second = second, first
+        return [w for w in first if w in second]
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+
+    def to_graph(self) -> Tuple[Graph, Dict[int, int]]:
+        """Freeze into a :class:`Graph`.
+
+        Returns ``(graph, eid_map)`` where ``eid_map`` maps this graph's
+        stable edge ids to the frozen graph's dense edge ids.
+        """
+        pairs = sorted((pair, eid) for eid, pair in self._edge_endpoints.items())
+        edges = np.array([pair for pair, _ in pairs], dtype=np.int64).reshape(-1, 2)
+        frozen = Graph(self.n, edges)
+        eid_map = {eid: dense for dense, (_, eid) in enumerate(pairs)}
+        return frozen, eid_map
+
+    def copy(self) -> "MutableGraph":
+        """Deep copy preserving edge ids."""
+        clone = MutableGraph(self.n)
+        for eid, (u, v) in self._edge_endpoints.items():
+            clone._insert_with_eid(u, v, eid)
+        clone._next_eid = self._next_eid
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MutableGraph(n={self.n}, m={self.m})"

@@ -1,0 +1,102 @@
+"""Structural validation of graph objects.
+
+Loaders, converters and (especially) anything hand-constructed in user
+code can produce inconsistent structures; :func:`validate_graph` checks
+every representation invariant a :class:`~repro.graph.memgraph.Graph`
+promises and reports all violations at once. Used by tests as an oracle
+and exposed publicly for downstream debugging
+(``repro-truss stats`` callers can assert on it cheaply).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .memgraph import Graph, MutableGraph
+
+
+def validate_graph(graph: Graph) -> List[str]:
+    """Return a list of invariant violations (empty = valid).
+
+    Checked invariants:
+
+    1. edge array shape/dtype; endpoints within ``[0, n)``;
+    2. canonical orientation ``u < v`` and lexicographic edge order,
+       without duplicates;
+    3. CSR offsets monotone, ending at ``2m``;
+    4. adjacency symmetric and sorted per vertex;
+    5. ``adj_eids`` aligned: position ``(v, w)`` holds the id of edge
+       ``(min, max)``;
+    6. degree array consistent with offsets.
+    """
+    problems: List[str] = []
+    edges = graph.edges
+    if edges.shape != (graph.m, 2):
+        problems.append(f"edge array shape {edges.shape} != ({graph.m}, 2)")
+        return problems
+    if graph.m:
+        if edges.min() < 0 or edges.max() >= graph.n:
+            problems.append("edge endpoint outside [0, n)")
+        if not (edges[:, 0] < edges[:, 1]).all():
+            problems.append("edge not canonically oriented (u < v)")
+        order_keys = edges[:, 0] * max(graph.n, 1) + edges[:, 1]
+        if not (np.diff(order_keys) > 0).all():
+            problems.append("edges not strictly lexicographically sorted")
+    if len(graph.offsets) != graph.n + 1:
+        problems.append("offsets length != n + 1")
+        return problems
+    if graph.offsets[0] != 0 or graph.offsets[-1] != 2 * graph.m:
+        problems.append("offsets must span [0, 2m]")
+    if (np.diff(graph.offsets) < 0).any():
+        problems.append("offsets not monotone")
+    degrees = graph.degrees
+    for v in range(graph.n):
+        nbrs = graph.neighbors(v)
+        eids = graph.neighbor_eids(v)
+        if len(nbrs) != degrees[v]:
+            problems.append(f"vertex {v}: degree mismatch")
+        if len(nbrs) > 1 and not (np.diff(nbrs) > 0).all():
+            problems.append(f"vertex {v}: adjacency not strictly sorted")
+        for w, eid in zip(nbrs, eids):
+            w, eid = int(w), int(eid)
+            if not 0 <= eid < graph.m:
+                problems.append(f"vertex {v}: edge id {eid} out of range")
+                continue
+            a, b = int(edges[eid, 0]), int(edges[eid, 1])
+            if {a, b} != {v, w}:
+                problems.append(
+                    f"vertex {v}: position ({v},{w}) holds edge id {eid} "
+                    f"of ({a},{b})"
+                )
+    # Symmetry: every (u, v) appears in both adjacency lists.
+    for eid in range(graph.m):
+        u, v = int(edges[eid, 0]), int(edges[eid, 1])
+        if graph.edge_id(u, v) != eid or graph.edge_id(v, u) != eid:
+            problems.append(f"edge {eid} ({u},{v}) not symmetric in adjacency")
+    return problems
+
+
+def validate_mutable(graph: MutableGraph) -> List[str]:
+    """Invariant check for :class:`MutableGraph` (symmetry + registry)."""
+    problems: List[str] = []
+    seen = set()
+    for v in range(graph.n):
+        for w, eid in graph.neighbors(v).items():
+            if graph.neighbors(w).get(v) != eid:
+                problems.append(f"asymmetric adjacency at ({v}, {w})")
+            pair = (min(v, w), max(v, w))
+            if graph.endpoints(eid) != pair:
+                problems.append(f"edge id {eid} endpoints mismatch at {pair}")
+            seen.add(eid)
+    if seen != set(graph.live_edge_ids()):
+        problems.append("edge registry and adjacency disagree on live ids")
+    return problems
+
+
+def assert_valid(graph) -> None:
+    """Raise ``AssertionError`` listing all violations (test helper)."""
+    checker = validate_mutable if isinstance(graph, MutableGraph) else validate_graph
+    problems = checker(graph)
+    assert not problems, "; ".join(problems)

@@ -1,0 +1,133 @@
+"""Degeneracy-oriented triangle counting: the ``O(m·α)`` support scan.
+
+The node-at-a-time scan of :mod:`repro.semiexternal.support` costs
+``O(Σ_(u,v) min(d(u), d(v)))`` — fine on bounded-degree graphs, painful on
+heavy-tailed ones where two hubs share an edge. The classic fix orients
+every edge from lower to higher *degeneracy order* position: each vertex
+then has at most ``c_max`` out-neighbours (the arboricity bound), and
+enumerating triangles as ``u → v``, ``u → w``, ``v → w`` touches each
+triangle exactly once with out-lists of size ``<= c_max``.
+
+One honesty caveat: the oriented enumeration updates the three edges of
+each triangle in scattered order, so this backend accumulates supports in
+an **O(m) in-memory buffer** (charged to the memory meter) and flushes it
+once — it trades the semi-external memory bound for ``O(m·α)`` work, the
+right choice whenever an edge-indexed array fits (it is how the paper's
+in-memory comparators count support). The strict ``O(n)``-memory scan
+remains :func:`repro.semiexternal.support.compute_supports`; both produce
+the identical :class:`~repro.semiexternal.support.SupportScan` contract
+and are cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.degeneracy import degeneracy_ordering
+from ..graph.memgraph import Graph
+from ..storage import BlockDevice, DiskArray, MemoryMeter
+from .support import SupportScan
+
+
+def _oriented_adjacency(graph: Graph, position: np.ndarray):
+    """CSR of out-neighbours (by degeneracy order) with aligned edge ids."""
+    out_degree = np.zeros(graph.n, dtype=np.int64)
+    source = np.where(
+        position[graph.edges[:, 0]] < position[graph.edges[:, 1]],
+        graph.edges[:, 0],
+        graph.edges[:, 1],
+    )
+    np.add.at(out_degree, source, 1)
+    offsets = np.zeros(graph.n + 1, dtype=np.int64)
+    np.cumsum(out_degree, out=offsets[1:])
+    heads = np.zeros(graph.m, dtype=np.int64)
+    eids = np.zeros(graph.m, dtype=np.int64)
+    cursor = offsets[:-1].copy()
+    for eid in range(graph.m):
+        u, v = graph.edges[eid]
+        u, v = int(u), int(v)
+        if position[u] > position[v]:
+            u, v = v, u
+        heads[cursor[u]] = v
+        eids[cursor[u]] = eid
+        cursor[u] += 1
+    # Sort each out-list by target position for merge-style intersection.
+    for v in range(graph.n):
+        start, stop = offsets[v], offsets[v + 1]
+        if stop - start > 1:
+            order = np.argsort(position[heads[start:stop]], kind="mergesort")
+            heads[start:stop] = heads[start:stop][order]
+            eids[start:stop] = eids[start:stop][order]
+    return offsets, heads, eids
+
+
+def compute_supports_oriented(
+    graph: Graph,
+    device: Optional[BlockDevice] = None,
+    memory: Optional[MemoryMeter] = None,
+    name: str = "osup",
+) -> SupportScan:
+    """Per-edge supports via degeneracy-oriented triangle enumeration.
+
+    Returns the same :class:`SupportScan` contract as
+    :func:`repro.semiexternal.support.compute_supports`; the supports
+    array lives on *device* (one is created if omitted). Uses an O(m)
+    in-memory accumulator (see module docstring) — charged to *memory*.
+    """
+    if device is None:
+        device = BlockDevice.for_semi_external(graph.n)
+    if memory is None:
+        memory = MemoryMeter()
+    supports_file = DiskArray(device, graph.m, np.int64, name=name, fill=0)
+    if graph.m == 0:
+        return SupportScan(supports_file, 0, 0, 0)
+    order = degeneracy_ordering(graph)
+    position = np.zeros(graph.n, dtype=np.int64)
+    position[order] = np.arange(graph.n)
+    memory.charge(f"{name}.order", position.nbytes)
+    offsets, heads, eids = _oriented_adjacency(graph, position)
+    # Oriented adjacency is itself an on-disk file: materialise + charge.
+    heads_file = DiskArray.from_numpy(device, heads, name=f"{name}.oadj")
+    eids_file = DiskArray.from_numpy(device, eids, name=f"{name}.oeids")
+
+    supports = np.zeros(graph.m, dtype=np.int64)  # accumulate, flush once
+    memory.charge(f"{name}.accumulator", supports.nbytes)
+    memory_tag = f"{name}.marker"
+    memory.charge(memory_tag, 16 * graph.n)
+    marker = np.full(graph.n, -1, dtype=np.int64)
+    marker_eid = np.zeros(graph.n, dtype=np.int64)
+    for u in range(graph.n):
+        start, stop = int(offsets[u]), int(offsets[u + 1])
+        if stop - start < 2:
+            continue
+        out_nbrs = heads_file.read_slice(start, stop)
+        out_eids = eids_file.read_slice(start, stop)
+        marker[out_nbrs] = u
+        marker_eid[out_nbrs] = out_eids
+        for index in range(len(out_nbrs)):
+            v = int(out_nbrs[index])
+            v_start, v_stop = int(offsets[v]), int(offsets[v + 1])
+            if v_stop == v_start:
+                continue
+            v_nbrs = heads_file.read_slice(v_start, v_stop)
+            v_eids = eids_file.read_slice(v_start, v_stop)
+            hits = marker[v_nbrs] == u
+            if not hits.any():
+                continue
+            count = int(hits.sum())
+            supports[int(out_eids[index])] += count
+            np.add.at(supports, v_eids[hits], 1)
+            np.add.at(supports, marker_eid[v_nbrs[hits]], 1)
+    # One sequential flush of the finished support file.
+    supports_file.write_slice(0, supports)
+    memory.release(memory_tag)
+    memory.release(f"{name}.accumulator")
+    memory.release(f"{name}.order")
+    heads_file.free()
+    eids_file.free()
+    triangle_count = int(supports.sum()) // 3
+    zero_edges = int((supports == 0).sum())
+    max_support = int(supports.max()) if graph.m else 0
+    return SupportScan(supports_file, triangle_count, zero_edges, max_support)

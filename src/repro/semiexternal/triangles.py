@@ -1,0 +1,75 @@
+"""Triangle counting and enumeration utilities.
+
+These are the in-memory reference implementations used to validate the
+semi-external support scan and to drive small-graph analyses (the Fig 9 case
+study, the Lemma 1 bound computations in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..graph.memgraph import Graph
+
+
+def triangle_count(graph: Graph) -> int:
+    """Number of distinct triangles in *graph* (via edge supports)."""
+    return graph.triangle_count()
+
+
+def enumerate_triangles(graph: Graph) -> Iterator[Tuple[int, int, int]]:
+    """Yield every triangle once as ``(u, v, w)`` with ``u < v < w``.
+
+    Forward-neighbour merge: for each edge ``(u, v)`` with ``u < v``, report
+    common neighbours ``w > v``.
+    """
+    for u in range(graph.n):
+        nbrs_u = graph.neighbors(u)
+        forward_u = nbrs_u[nbrs_u > u]
+        if len(forward_u) == 0:
+            continue
+        u_set = set(int(x) for x in forward_u)
+        for v in forward_u:
+            nbrs_v = graph.neighbors(int(v))
+            for w in nbrs_v[nbrs_v > v]:
+                if int(w) in u_set:
+                    yield (u, int(v), int(w))
+
+
+def edge_triangle_supports_naive(graph: Graph) -> np.ndarray:
+    """Per-edge supports by brute-force triangle enumeration.
+
+    Quadratic-ish; for cross-checking :meth:`Graph.edge_supports` in tests.
+    """
+    supports = np.zeros(graph.m, dtype=np.int64)
+    for u, v, w in enumerate_triangles(graph):
+        supports[graph.edge_id(u, v)] += 1
+        supports[graph.edge_id(u, w)] += 1
+        supports[graph.edge_id(v, w)] += 1
+    return supports
+
+
+def local_clustering(graph: Graph, v: int) -> float:
+    """Clustering coefficient of vertex *v* (0.0 when degree < 2)."""
+    nbrs = graph.neighbors(v)
+    degree = len(nbrs)
+    if degree < 2:
+        return 0.0
+    nbr_set = set(int(x) for x in nbrs)
+    links = 0
+    for u in nbrs:
+        for w in graph.neighbors(int(u)):
+            if int(w) in nbr_set and int(w) > int(u):
+                links += 1
+    return 2.0 * links / (degree * (degree - 1))
+
+
+def global_clustering(graph: Graph) -> float:
+    """Transitivity: ``3 * triangles / open wedges`` (0.0 if no wedges)."""
+    degrees = graph.degrees
+    wedges = int((degrees * (degrees - 1) // 2).sum())
+    if wedges == 0:
+        return 0.0
+    return 3.0 * graph.triangle_count() / wedges

@@ -1,0 +1,190 @@
+"""Buffer-pool replacement policies for :class:`BlockDevice`.
+
+The paper's experiments run on an OS page cache (effectively LRU-ish);
+real buffer managers vary, and replacement policy visibly shifts I/O
+counts for the scan-then-random-access patterns of truss peeling. Three
+classic policies are provided:
+
+* **LRU** — least-recently-used (default; matches the analysis model);
+* **FIFO** — eviction in admission order, no access recency;
+* **CLOCK** — the second-chance approximation of LRU used by most real
+  buffer pools.
+
+All expose the same minimal interface the device needs: ``lookup`` (and
+touch), ``insert`` returning an evicted ``(key, dirty)`` or ``None``,
+``discard``, ``set_dirty``, ``items``, ``clear``, ``__len__``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+Key = Tuple[int, int]
+Evicted = Optional[Tuple[Key, bool]]
+
+
+class LRUCache:
+    """Least-recently-used over an ordered dict."""
+
+    name = "lru"
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[Key, bool]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: Key) -> Optional[bool]:
+        """Return the dirty flag and refresh recency; ``None`` on miss."""
+        if key not in self._entries:
+            return None
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def insert(self, key: Key, dirty: bool) -> Evicted:
+        """Insert/overwrite; returns the evicted entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = dirty
+            return None
+        self._entries[key] = dirty
+        if len(self._entries) > self.capacity:
+            return self._entries.popitem(last=False)
+        return None
+
+    def discard(self, key: Key) -> Optional[bool]:
+        """Drop an entry (no eviction charge); returns its dirty flag."""
+        return self._entries.pop(key, None)
+
+    def set_dirty(self, key: Key, dirty: bool) -> None:
+        """Update a resident entry's dirty flag without recency change."""
+        self._entries[key] = dirty
+
+    def items(self) -> Iterator[Tuple[Key, bool]]:
+        return iter(list(self._entries.items()))
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class FIFOCache(LRUCache):
+    """First-in-first-out: like LRU but lookups don't refresh recency."""
+
+    name = "fifo"
+
+    def lookup(self, key: Key) -> Optional[bool]:
+        return self._entries.get(key)
+
+    def insert(self, key: Key, dirty: bool) -> Evicted:
+        if key in self._entries:
+            self._entries[key] = dirty  # keep original admission position
+            return None
+        self._entries[key] = dirty
+        if len(self._entries) > self.capacity:
+            return self._entries.popitem(last=False)
+        return None
+
+
+class ClockCache:
+    """CLOCK (second chance): a circular buffer of frames with ref bits."""
+
+    name = "clock"
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._frames: List[Optional[Key]] = []
+        self._index: Dict[Key, int] = {}
+        self._dirty: Dict[Key, bool] = {}
+        self._referenced: Dict[Key, bool] = {}
+        self._hand = 0
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._index
+
+    def lookup(self, key: Key) -> Optional[bool]:
+        if key not in self._index:
+            return None
+        self._referenced[key] = True
+        return self._dirty[key]
+
+    def _advance(self) -> int:
+        while True:
+            if self._hand >= len(self._frames):
+                self._hand = 0
+            key = self._frames[self._hand]
+            if key is None:
+                return self._hand
+            if self._referenced.get(key, False):
+                self._referenced[key] = False
+                self._hand += 1
+                continue
+            return self._hand
+
+    def insert(self, key: Key, dirty: bool) -> Evicted:
+        if key in self._index:
+            self._dirty[key] = dirty
+            self._referenced[key] = True
+            return None
+        if len(self._frames) < self.capacity:
+            self._frames.append(key)
+            self._index[key] = len(self._frames) - 1
+            self._dirty[key] = dirty
+            # Admit unreferenced: the bit is earned by a subsequent hit
+            # (the variant that keeps second-chance meaningful).
+            self._referenced[key] = False
+            return None
+        slot = self._advance()
+        victim = self._frames[slot]
+        evicted: Evicted = None
+        if victim is not None:
+            evicted = (victim, self._dirty[victim])
+            del self._index[victim]
+            del self._dirty[victim]
+            self._referenced.pop(victim, None)
+        self._frames[slot] = key
+        self._index[key] = slot
+        self._dirty[key] = dirty
+        self._referenced[key] = False
+        self._hand = slot + 1
+        return evicted
+
+    def discard(self, key: Key) -> Optional[bool]:
+        slot = self._index.pop(key, None)
+        if slot is None:
+            return None
+        self._frames[slot] = None
+        self._referenced.pop(key, None)
+        return self._dirty.pop(key)
+
+    def set_dirty(self, key: Key, dirty: bool) -> None:
+        self._dirty[key] = dirty
+
+    def items(self) -> Iterator[Tuple[Key, bool]]:
+        return iter([(k, self._dirty[k]) for k in self._index])
+
+    def clear(self) -> None:
+        self._frames.clear()
+        self._index.clear()
+        self._dirty.clear()
+        self._referenced.clear()
+        self._hand = 0
+
+
+_POLICIES = {"lru": LRUCache, "fifo": FIFOCache, "clock": ClockCache}
+
+
+def make_cache(policy: str, capacity: int):
+    """Instantiate a cache by policy name (``lru`` / ``fifo`` / ``clock``)."""
+    try:
+        return _POLICIES[policy](capacity)
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise ValueError(f"unknown cache policy {policy!r}; known: {known}") from None

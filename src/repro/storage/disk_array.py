@@ -1,0 +1,185 @@
+"""Typed arrays living on a simulated :class:`BlockDevice`.
+
+A :class:`DiskArray` is the edge-indexed workhorse of the semi-external
+algorithms: per-edge support, alive flags, linear-heap link fields and the
+sorted edge file ``T_edge(G)`` are all ``DiskArray``s. Every element access
+is routed through the owning device so block I/Os are charged exactly as the
+paper's model prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import ArrayBoundsError
+from .device import BlockDevice
+
+IndexLike = Union[int, np.integer]
+
+
+class DiskArray:
+    """A fixed-length typed array stored on a :class:`BlockDevice`.
+
+    Parameters
+    ----------
+    device:
+        The block device the array lives on.
+    length:
+        Number of elements.
+    dtype:
+        Any numpy dtype (int64 by default).
+    name:
+        Label used for the device extent (debugging / accounting).
+    fill:
+        Optional initial value; initialisation is charged as a sequential
+        append-style write of the whole extent.
+
+    Notes
+    -----
+    Reads return copies (like a real ``pread``), so callers can't mutate disk
+    contents behind the accounting layer.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        length: int,
+        dtype: np.dtype = np.int64,
+        name: str = "array",
+        fill: int = None,
+    ) -> None:
+        if length < 0:
+            raise ArrayBoundsError(f"length must be non-negative, got {length}")
+        self.device = device
+        self.length = int(length)
+        self.dtype = np.dtype(dtype)
+        self.itemsize = self.dtype.itemsize
+        self.name = name
+        self._data = np.zeros(self.length, dtype=self.dtype)
+        self.extent = device.allocate(name, self.length * self.itemsize)
+        if fill is not None and self.length:
+            self._data[:] = fill
+            device.append_write(self.extent, 0, self.length * self.itemsize)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_numpy(
+        cls, device: BlockDevice, values: np.ndarray, name: str = "array"
+    ) -> "DiskArray":
+        """Materialise *values* on *device*, charging a sequential write."""
+        values = np.asarray(values)
+        array = cls(device, len(values), values.dtype, name=name)
+        if len(values):
+            array._data[:] = values
+            device.append_write(array.extent, 0, len(values) * array.itemsize)
+        return array
+
+    # ------------------------------------------------------------------ #
+    # element and slice access
+    # ------------------------------------------------------------------ #
+
+    def _check_range(self, start: int, stop: int) -> None:
+        if start < 0 or stop > self.length or start > stop:
+            raise ArrayBoundsError(
+                f"range [{start}, {stop}) out of bounds for {self.name!r} of length {self.length}"
+            )
+
+    def get(self, index: IndexLike) -> int:
+        """Read one element (charged as a block read)."""
+        index = int(index)
+        self._check_range(index, index + 1)
+        self.device.touch_read(self.extent, index * self.itemsize, self.itemsize)
+        return self._data[index].item()
+
+    def set(self, index: IndexLike, value: int) -> None:
+        """Write one element (charged as a block write)."""
+        index = int(index)
+        self._check_range(index, index + 1)
+        self.device.touch_write(self.extent, index * self.itemsize, self.itemsize)
+        self._data[index] = value
+
+    def read_slice(self, start: int, stop: int) -> np.ndarray:
+        """Read ``[start, stop)`` as a fresh numpy array (charged)."""
+        start, stop = int(start), int(stop)
+        self._check_range(start, stop)
+        nbytes = (stop - start) * self.itemsize
+        if nbytes:
+            self.device.touch_read(self.extent, start * self.itemsize, nbytes)
+        return self._data[start:stop].copy()
+
+    def write_slice(self, start: int, values: np.ndarray) -> None:
+        """Write *values* at *start* (charged)."""
+        start = int(start)
+        values = np.asarray(values, dtype=self.dtype)
+        stop = start + len(values)
+        self._check_range(start, stop)
+        if len(values):
+            self.device.touch_write(
+                self.extent, start * self.itemsize, len(values) * self.itemsize
+            )
+            self._data[start:stop] = values
+
+    def fill(self, value: int) -> None:
+        """Overwrite the whole array (sequential write)."""
+        if self.length:
+            self._data[:] = value
+            self.device.append_write(self.extent, 0, self.length * self.itemsize)
+
+    # ------------------------------------------------------------------ #
+    # bulk, maintenance
+    # ------------------------------------------------------------------ #
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Read many scattered elements; each touched block is charged once
+        per access run (indices are visited in the given order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if len(indices) == 0:
+            return np.empty(0, dtype=self.dtype)
+        if indices.min() < 0 or indices.max() >= self.length:
+            raise ArrayBoundsError(f"gather indices out of bounds for {self.name!r}")
+        for index in indices:
+            self.device.touch_read(self.extent, int(index) * self.itemsize, self.itemsize)
+        return self._data[indices].copy()
+
+    def scatter(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Write many scattered elements (each block touch charged)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=self.dtype)
+        if len(indices) != len(values):
+            raise ArrayBoundsError("scatter: indices and values length mismatch")
+        if len(indices) == 0:
+            return
+        if indices.min() < 0 or indices.max() >= self.length:
+            raise ArrayBoundsError(f"scatter indices out of bounds for {self.name!r}")
+        for index, value in zip(indices, values):
+            self.device.touch_write(self.extent, int(index) * self.itemsize, self.itemsize)
+            self._data[index] = value
+
+    def to_numpy(self) -> np.ndarray:
+        """Full sequential read of the array contents."""
+        return self.read_slice(0, self.length)
+
+    def peek(self) -> np.ndarray:
+        """Accounting-free view of the raw contents.
+
+        For tests and result extraction only — algorithm code must never use
+        this, or its I/O counts would lie.
+        """
+        return self._data
+
+    def free(self) -> None:
+        """Release the backing extent (models deleting a scratch file)."""
+        self.device.free(self.extent)
+        self._data = np.empty(0, dtype=self.dtype)
+        self.length = 0
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiskArray({self.name!r}, length={self.length}, dtype={self.dtype})"

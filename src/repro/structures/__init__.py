@@ -1,0 +1,7 @@
+"""Heap structures: disk linear-heap, memory dynamic-heap, composite LHDH."""
+
+from .dynamic_heap import DynamicHeap
+from .linear_heap import LinearHeap
+from .lhdh import LHDH
+
+__all__ = ["DynamicHeap", "LinearHeap", "LHDH"]

@@ -1,0 +1,154 @@
+"""The memory-based dynamic-heap half of LHDH (paper §III-C).
+
+A binary min-heap over ``(key, edge id)`` with a position map, supporting the
+operations the lazy-update kernel needs: ``push``, ``pop``, ``top``,
+``decrease_key`` (an updated edge "dynamically adjusts its position upwards",
+as the paper puts it), arbitrary ``remove``, and membership/key queries —
+all O(log size), all purely in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import HeapEmptyError, HeapError
+
+
+class DynamicHeap:
+    """In-memory min-heap with a position map keyed by edge id."""
+
+    def __init__(self) -> None:
+        self._keys: List[int] = []
+        self._eids: List[int] = []
+        self._positions: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _swap(self, i: int, j: int) -> None:
+        self._keys[i], self._keys[j] = self._keys[j], self._keys[i]
+        self._eids[i], self._eids[j] = self._eids[j], self._eids[i]
+        self._positions[self._eids[i]] = i
+        self._positions[self._eids[j]] = j
+
+    def _sift_up(self, index: int) -> None:
+        while index > 0:
+            parent = (index - 1) >> 1
+            if self._keys[index] < self._keys[parent]:
+                self._swap(index, parent)
+                index = parent
+            else:
+                break
+
+    def _sift_down(self, index: int) -> None:
+        size = len(self._keys)
+        while True:
+            left = 2 * index + 1
+            right = left + 1
+            smallest = index
+            if left < size and self._keys[left] < self._keys[smallest]:
+                smallest = left
+            if right < size and self._keys[right] < self._keys[smallest]:
+                smallest = right
+            if smallest == index:
+                return
+            self._swap(index, smallest)
+            index = smallest
+
+    # ------------------------------------------------------------------ #
+    # public operations
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, eid: int) -> bool:
+        return eid in self._positions
+
+    def push(self, eid: int, key: int) -> None:
+        """Insert *eid* with *key*; raises if already present."""
+        if eid in self._positions:
+            raise HeapError(f"edge {eid} already in dynamic heap")
+        self._keys.append(key)
+        self._eids.append(eid)
+        self._positions[eid] = len(self._keys) - 1
+        self._sift_up(len(self._keys) - 1)
+
+    def top(self) -> Tuple[int, int]:
+        """``(eid, key)`` with the smallest key, without removal."""
+        if not self._keys:
+            raise HeapEmptyError("top() on empty dynamic heap")
+        return self._eids[0], self._keys[0]
+
+    def top_key(self) -> Optional[int]:
+        """Smallest key, or ``None`` when empty."""
+        return self._keys[0] if self._keys else None
+
+    def pop(self) -> Tuple[int, int]:
+        """Remove and return the ``(eid, key)`` with the smallest key."""
+        if not self._keys:
+            raise HeapEmptyError("pop() on empty dynamic heap")
+        eid, key = self._eids[0], self._keys[0]
+        self._remove_at(0)
+        return eid, key
+
+    def _remove_at(self, index: int) -> None:
+        last = len(self._keys) - 1
+        removed_eid = self._eids[index]
+        if index != last:
+            self._swap(index, last)
+        self._keys.pop()
+        self._eids.pop()
+        del self._positions[removed_eid]
+        if index <= last - 1 and index < len(self._keys):
+            self._sift_down(index)
+            self._sift_up(index)
+
+    def remove(self, eid: int) -> int:
+        """Remove *eid*; returns its key."""
+        index = self._positions.get(eid)
+        if index is None:
+            raise HeapError(f"edge {eid} not in dynamic heap")
+        key = self._keys[index]
+        self._remove_at(index)
+        return key
+
+    def key_of(self, eid: int) -> int:
+        """Current key of *eid* (the paper's ``dheap.getSup``)."""
+        index = self._positions.get(eid)
+        if index is None:
+            raise HeapError(f"edge {eid} not in dynamic heap")
+        return self._keys[index]
+
+    def decrease_key(self, eid: int, new_key: int) -> None:
+        """Lower *eid*'s key to *new_key* and sift it upwards."""
+        index = self._positions.get(eid)
+        if index is None:
+            raise HeapError(f"edge {eid} not in dynamic heap")
+        if new_key > self._keys[index]:
+            raise HeapError(
+                f"decrease_key would raise key of edge {eid}: "
+                f"{self._keys[index]} -> {new_key}"
+            )
+        self._keys[index] = new_key
+        self._sift_up(index)
+
+    def decrement(self, eid: int) -> int:
+        """Decrease *eid*'s key by one; returns the new key."""
+        index = self._positions.get(eid)
+        if index is None:
+            raise HeapError(f"edge {eid} not in dynamic heap")
+        self._keys[index] -= 1
+        new_key = self._keys[index]
+        self._sift_up(index)
+        return new_key
+
+    def items(self) -> List[Tuple[int, int]]:
+        """All ``(eid, key)`` pairs in unspecified order."""
+        return list(zip(self._eids, self._keys))
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate model-memory footprint (3 machine words per entry)."""
+        return 24 * len(self._keys)

@@ -1,0 +1,220 @@
+"""The disk-based linear-heap half of LHDH (paper §III-C, Fig 3).
+
+Edges are bucketed by support. Each bucket is a doubly-linked list whose
+node records (``key``, ``prev``, ``next``) live in :class:`DiskArray`s —
+every link-field touch is a charged I/O. Bucket heads, bucket occupancy
+counts and the running minimum live in memory (the paper: "it becomes
+feasible to retain the information of the head node ... in memory", since
+max support < n).
+
+This structure is also used *alone* by SemiBinary and SemiGreedyCore as
+``A_disk``, the bin-sorted edge array whose "reorder (u,w) and (v,w)
+according to their new support" steps each pay disk I/O — the cost the
+dynamic heap of :mod:`repro.structures.lhdh` exists to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..errors import HeapEmptyError, HeapError
+from ..storage import BlockDevice, DiskArray, MemoryMeter
+
+_NIL = -1      # end of a bucket list
+_DEAD = -2     # edge removed from the heap
+
+
+class LinearHeap:
+    """Disk-resident bucket queue over edge ids keyed by support.
+
+    Parameters
+    ----------
+    device:
+        Block device holding the link arrays.
+    num_edges:
+        Capacity: edge ids must lie in ``[0, num_edges)``.
+    max_key:
+        Largest representable key (bucket count − 1).
+    memory:
+        Optional meter charged for the in-memory bucket heads.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        num_edges: int,
+        max_key: int,
+        memory: Optional[MemoryMeter] = None,
+        name: str = "lheap",
+    ) -> None:
+        if max_key < 0:
+            raise HeapError("max_key must be non-negative")
+        self.device = device
+        self.memory = memory
+        self.name = name
+        self.max_key = int(max_key)
+        # Disk-resident node records.
+        self.keys = DiskArray(device, num_edges, np.int64, name=f"{name}.key", fill=0)
+        self.prev = DiskArray(device, num_edges, np.int64, name=f"{name}.prev", fill=_NIL)
+        self.next = DiskArray(device, num_edges, np.int64, name=f"{name}.next", fill=_DEAD)
+        # In-memory bucket heads + occupancy (the semi-external allowance).
+        self.heads = np.full(self.max_key + 1, _NIL, dtype=np.int64)
+        self.counts = np.zeros(self.max_key + 1, dtype=np.int64)
+        self._size = 0
+        self._min_cursor = 0
+        if memory is not None:
+            memory.charge(f"{name}.heads", self.heads.nbytes + self.counts.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # bulk construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        device: BlockDevice,
+        eids: Iterable[int],
+        keys: Iterable[int],
+        max_key: Optional[int] = None,
+        num_edges: Optional[int] = None,
+        memory: Optional[MemoryMeter] = None,
+        name: str = "lheap",
+    ) -> "LinearHeap":
+        """Build a heap from parallel ``eids`` / ``keys`` sequences.
+
+        Construction streams the records to disk in bucket order — the
+        bin-sort write pass of Alg 1 line 10.
+        """
+        eid_array = np.asarray(list(eids), dtype=np.int64)
+        key_array = np.asarray(list(keys), dtype=np.int64)
+        if len(eid_array) != len(key_array):
+            raise HeapError("eids and keys must have equal length")
+        if max_key is None:
+            max_key = int(key_array.max()) if len(key_array) else 0
+        if num_edges is None:
+            num_edges = int(eid_array.max()) + 1 if len(eid_array) else 0
+        heap = cls(device, num_edges, max_key, memory=memory, name=name)
+        # Insert in reverse so each bucket lists ids in ascending order.
+        for eid, key in zip(eid_array[::-1], key_array[::-1]):
+            heap.insert(int(eid), int(key))
+        return heap
+
+    # ------------------------------------------------------------------ #
+    # primitive operations (each link touch is charged I/O)
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, eid: int, key: int) -> None:
+        """Link *eid* at the front of bucket *key*."""
+        if key < 0 or key > self.max_key:
+            raise HeapError(f"key {key} outside [0, {self.max_key}]")
+        head = int(self.heads[key])
+        self.keys.set(eid, key)
+        self.prev.set(eid, _NIL)
+        self.next.set(eid, head)
+        if head != _NIL:
+            self.prev.set(head, eid)
+        self.heads[key] = eid
+        self.counts[key] += 1
+        self._size += 1
+        if key < self._min_cursor:
+            self._min_cursor = key
+
+    def contains(self, eid: int) -> bool:
+        """Whether *eid* is currently linked (charged: reads its record)."""
+        return self.next.get(eid) != _DEAD
+
+    def key_of(self, eid: int) -> int:
+        """Current key of a linked edge (charged read)."""
+        if self.next.get(eid) == _DEAD:
+            raise HeapError(f"edge {eid} not in linear heap")
+        return self.keys.get(eid)
+
+    def remove(self, eid: int) -> int:
+        """Unlink *eid*; returns its key. Charged link-field I/O."""
+        next_eid = self.next.get(eid)
+        if next_eid == _DEAD:
+            raise HeapError(f"edge {eid} not in linear heap")
+        prev_eid = self.prev.get(eid)
+        key = self.keys.get(eid)
+        if prev_eid != _NIL:
+            self.next.set(prev_eid, next_eid)
+        else:
+            self.heads[key] = next_eid
+        if next_eid != _NIL:
+            self.prev.set(next_eid, prev_eid)
+        self.next.set(eid, _DEAD)
+        self.counts[key] -= 1
+        self._size -= 1
+        return int(key)
+
+    def update_key(self, eid: int, new_key: int) -> None:
+        """Move *eid* to bucket *new_key* (the A_disk "reorder" step)."""
+        self.remove(eid)
+        self.insert(eid, new_key)
+
+    def decrement(self, eid: int) -> int:
+        """Decrease *eid*'s key by one; returns the new key."""
+        key = self.remove(eid)
+        if key == 0:
+            raise HeapError(f"cannot decrement edge {eid} below key 0")
+        self.insert(eid, key - 1)
+        return key - 1
+
+    # ------------------------------------------------------------------ #
+    # minimum access
+    # ------------------------------------------------------------------ #
+
+    def min_key(self) -> Optional[int]:
+        """Smallest occupied key, or ``None`` when empty (in-memory scan)."""
+        if self._size == 0:
+            return None
+        while self._min_cursor <= self.max_key and self.counts[self._min_cursor] == 0:
+            self._min_cursor += 1
+        return int(self._min_cursor)
+
+    def top(self) -> Tuple[int, int]:
+        """``(eid, key)`` at the current minimum, without removal."""
+        key = self.min_key()
+        if key is None:
+            raise HeapEmptyError("top() on empty linear heap")
+        return int(self.heads[key]), key
+
+    def pop_min(self) -> Tuple[int, int]:
+        """Remove and return the ``(eid, key)`` with the smallest key."""
+        eid, key = self.top()
+        self.remove(eid)
+        return eid, key
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    def iter_bucket(self, key: int):
+        """Yield edge ids in bucket *key* front-to-back (charged reads)."""
+        eid = int(self.heads[key])
+        while eid != _NIL:
+            yield eid
+            eid = self.next.get(eid)
+
+    def live_items(self):
+        """Yield all ``(eid, key)`` pairs (charged; tests/result use)."""
+        for key in range(self.max_key + 1):
+            if self.counts[key]:
+                for eid in self.iter_bucket(key):
+                    yield eid, key
+
+    def release(self) -> None:
+        """Free the disk extents and memory charge."""
+        self.keys.free()
+        self.prev.free()
+        self.next.free()
+        if self.memory is not None:
+            self.memory.release(f"{self.name}.heads")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearHeap({self.name!r}, size={self._size}, max_key={self.max_key})"

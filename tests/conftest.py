@@ -1,0 +1,91 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.graph.memgraph import Graph
+from repro.storage import BlockDevice, IOStats, MemoryMeter
+
+# Library-wide hypothesis profile: deterministic-ish, no flaky deadlines.
+settings.register_profile(
+    "repro",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def device() -> BlockDevice:
+    """A small-block device so cache effects show up at test scale."""
+    return BlockDevice(block_size=64, cache_blocks=8)
+
+
+@pytest.fixture
+def big_cache_device() -> BlockDevice:
+    """A device whose cache easily holds everything (I/O = cold misses)."""
+    return BlockDevice(block_size=4096, cache_blocks=1 << 16)
+
+
+@pytest.fixture
+def memory() -> MemoryMeter:
+    return MemoryMeter()
+
+
+# --------------------------------------------------------------------- #
+# hypothesis strategies
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def small_graphs(draw, max_n: int = 24, max_extra_edges: int = 60):
+    """Random graphs with 0..max_n vertices, arbitrary density."""
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    if n < 2:
+        return Graph.empty(n)
+    edge_count = draw(st.integers(min_value=0, max_value=max_extra_edges))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=0,
+            max_size=edge_count,
+        )
+    )
+    return Graph.from_edges([(u, v) for u, v in pairs if u != v], n=n)
+
+
+@st.composite
+def triangle_rich_graphs(draw, max_n: int = 20):
+    """Graphs biased toward containing triangles (denser G(n, p))."""
+    n = draw(st.integers(min_value=4, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    p = draw(st.floats(min_value=0.25, max_value=0.7))
+    rows, cols = np.triu_indices(n, k=1)
+    keep = rng.random(len(rows)) < p
+    return Graph(n, np.stack([rows[keep], cols[keep]], axis=1))
+
+
+def graph_from_networkx_check(graph: Graph) -> int:
+    """Reference k_max via networkx.k_truss (tests only)."""
+    import networkx as nx
+
+    if graph.m == 0:
+        return 0
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(range(graph.n))
+    nx_graph.add_edges_from(graph.edge_pairs())
+    k = 2
+    while True:
+        truss = nx.k_truss(nx_graph, k + 1)
+        if truss.number_of_edges() == 0:
+            return k
+        k += 1

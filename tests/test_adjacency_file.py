@@ -1,0 +1,91 @@
+"""Tests for the mutable AdjacencyFile I/O model."""
+
+from repro.dynamic.adjacency_file import AdjacencyFile
+from repro.storage import BlockDevice
+
+
+def _make(degrees, block_size=64, cache_blocks=4, slack=4):
+    device = BlockDevice(block_size=block_size, cache_blocks=cache_blocks)
+    return AdjacencyFile(device, degrees, slack=slack), device
+
+
+class TestLayout:
+    def test_initial_regions(self):
+        file, _ = _make([3, 0, 5])
+        assert list(file.degrees) == [3, 0, 5]
+        assert list(file.capacity) == [7, 4, 9]
+        assert file.offsets[1] == 7
+        assert file.offsets[2] == 11
+
+    def test_initial_write_charged(self):
+        file, device = _make([4, 4])
+        device.flush()
+        assert device.stats.write_ios > 0
+
+    def test_vertex_table_extends_on_demand(self):
+        file, _ = _make([1])
+        file.charge_load(5)  # implicit growth to 6 vertices
+        assert len(file.degrees) == 6
+        assert file.degrees[5] == 0
+
+
+class TestCharges:
+    def test_load_charges_reads(self):
+        file, device = _make([10])
+        device.drop_cache()
+        device.stats.reset()
+        file.charge_load(0)
+        assert device.stats.read_ios >= 1
+
+    def test_load_of_isolated_vertex_is_free(self):
+        file, device = _make([0, 3])
+        device.drop_cache()
+        device.stats.reset()
+        file.charge_load(0)
+        assert device.stats.total_ios == 0
+
+    def test_append_within_slack(self):
+        file, _ = _make([2], slack=4)
+        file.charge_append(0)
+        assert file.degrees[0] == 3
+        assert file.capacity[0] == 6  # unchanged
+
+    def test_append_overflow_relocates(self):
+        file, _ = _make([2], slack=1)
+        old_offset = int(file.offsets[0])
+        file.charge_append(0)  # fills the region (cap 3)
+        file.charge_append(0)  # overflow -> relocate
+        assert int(file.offsets[0]) != old_offset
+        assert file.capacity[0] >= file.degrees[0]
+
+    def test_relocation_grows_file(self):
+        file, _ = _make([2], slack=1)
+        before = file.file_slots
+        file.charge_append(0)
+        file.charge_append(0)
+        assert file.file_slots > before
+
+    def test_remove_decrements_degree(self):
+        file, _ = _make([3])
+        file.charge_remove(0)
+        assert file.degrees[0] == 2
+
+    def test_remove_empty_is_noop(self):
+        file, device = _make([0])
+        device.stats.reset()
+        file.charge_remove(0)
+        assert file.degrees[0] == 0
+
+    def test_rebuild_resets_layout(self):
+        file, device = _make([2, 2])
+        file.charge_append(0)
+        file.charge_rebuild([5, 1, 7])
+        assert list(file.degrees) == [5, 1, 7]
+        assert file.offsets[0] == 0
+
+    def test_extent_grows_automatically(self):
+        file, device = _make([1], slack=1)
+        for _ in range(100):
+            file.charge_append(0)
+        assert file.degrees[0] == 101
+        assert device.extent_size(file.extent) >= file.file_slots * 8

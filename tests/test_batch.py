@@ -1,0 +1,134 @@
+"""Tests for batch maintenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import max_truss_edges
+from repro.dynamic import DynamicMaxTruss, apply_batch
+from repro.errors import GraphFormatError
+from repro.graph.generators import complete_graph, paper_example_graph, planted_kmax_truss
+from repro.graph.memgraph import Graph
+
+
+class TestBasics:
+    def test_empty_batch(self):
+        state = DynamicMaxTruss(paper_example_graph())
+        result = apply_batch(state, [])
+        assert result.operations == 0
+        assert result.mode == "untouched"
+        assert state.k_max == 4
+
+    def test_promoting_batch(self):
+        state = DynamicMaxTruss(paper_example_graph())
+        result = state.apply_batch([("insert", 0, 4)])
+        assert result.mode == "global"
+        assert state.k_max == 5
+
+    def test_untouched_batch_is_cheap(self):
+        g = planted_kmax_truss(7, periphery_n=80, seed=0)
+        state = DynamicMaxTruss(g)
+        ops = []
+        for v in range(g.n - 12, g.n - 2):
+            if not g.has_edge(v, g.n - 1) and len(ops) < 2:
+                ops.append(("insert", v, g.n - 1))
+        result = apply_batch(state, ops)
+        assert result.mode == "untouched"
+        assert state.k_max == 7
+
+    def test_one_global_for_many_class_deletions(self):
+        g = complete_graph(6)
+        state = DynamicMaxTruss(g)
+        result = apply_batch(
+            state, [("delete", 0, 1), ("delete", 2, 3), ("delete", 4, 5)]
+        )
+        assert result.mode == "global"
+        assert result.deletions == 3
+        mutable = g.to_mutable()
+        for pair in [(0, 1), (2, 3), (4, 5)]:
+            mutable.delete_edge(*pair)
+        frozen, _ = mutable.to_graph()
+        expected_k, expected_edges = max_truss_edges(frozen)
+        assert state.k_max == expected_k
+        assert state.truss_pairs() == expected_edges
+
+    def test_conflicting_insert_raises(self):
+        state = DynamicMaxTruss(complete_graph(3))
+        with pytest.raises(GraphFormatError):
+            apply_batch(state, [("insert", 0, 1)])
+
+    def test_absent_delete_raises(self):
+        state = DynamicMaxTruss(complete_graph(3))
+        with pytest.raises(GraphFormatError):
+            apply_batch(state, [("delete", 0, 9)])
+
+    def test_unknown_operation(self):
+        state = DynamicMaxTruss(complete_graph(3))
+        with pytest.raises(GraphFormatError):
+            apply_batch(state, [("upsert", 0, 1)])
+
+    def test_trivial_class_tracks_batch(self):
+        state = DynamicMaxTruss(Graph.from_edges([(0, 1)]))
+        result = apply_batch(state, [("insert", 1, 2), ("insert", 2, 3)])
+        assert state.k_max == 2
+        assert state.truss_edge_count() == 3
+
+
+@st.composite
+def batch_scenarios(draw):
+    n = draw(st.integers(min_value=5, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    rng = np.random.default_rng(seed)
+    p = draw(st.floats(min_value=0.2, max_value=0.5))
+    rows, cols = np.triu_indices(n, k=1)
+    keep = rng.random(len(rows)) < p
+    graph = Graph(n, np.stack([rows[keep], cols[keep]], axis=1))
+    size = draw(st.integers(min_value=1, max_value=10))
+    mutable = graph.to_mutable()
+    ops = []
+    for _ in range(size):
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if u == v:
+            continue
+        if mutable.has_edge(u, v):
+            mutable.delete_edge(u, v)
+            ops.append(("delete", u, v))
+        else:
+            mutable.insert_edge(u, v)
+            ops.append(("insert", u, v))
+    return graph, ops
+
+
+@given(batch_scenarios())
+@settings(max_examples=25)
+def test_batch_matches_scratch(scenario):
+    graph, ops = scenario
+    state = DynamicMaxTruss(graph)
+    apply_batch(state, ops)
+    mutable = graph.to_mutable()
+    for op, u, v in ops:
+        if op == "insert":
+            mutable.insert_edge(u, v)
+        else:
+            mutable.delete_edge(u, v)
+    frozen, _ = mutable.to_graph()
+    expected_k, expected_edges = max_truss_edges(frozen)
+    assert state.k_max == expected_k
+    assert state.truss_pairs() == expected_edges
+
+
+@given(batch_scenarios())
+@settings(max_examples=15)
+def test_batch_matches_sequential(scenario):
+    graph, ops = scenario
+    batch_state = DynamicMaxTruss(graph)
+    apply_batch(batch_state, ops)
+    sequential_state = DynamicMaxTruss(graph)
+    for op, u, v in ops:
+        if op == "insert":
+            sequential_state.insert(u, v)
+        else:
+            sequential_state.delete(u, v)
+    assert batch_state.k_max == sequential_state.k_max
+    assert batch_state.truss_pairs() == sequential_state.truss_pairs()

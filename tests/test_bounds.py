@@ -1,0 +1,116 @@
+"""Tests for the Lemma 1/2/3/5 bounds."""
+
+import numpy as np
+from hypothesis import given
+
+from repro.baselines import max_truss_edges
+from repro.core import bounds
+from repro.graph.generators import complete_graph, paper_example_graph
+from repro.graph.memgraph import Graph
+from repro.semiexternal.core_decomp import core_decomposition_inmemory
+
+from conftest import small_graphs, triangle_rich_graphs
+
+
+class TestNashWilliams:
+    def test_triangle_free(self):
+        assert bounds.nash_williams_lower_bound(0, 10) == 2
+
+    def test_empty(self):
+        assert bounds.nash_williams_lower_bound(0, 0) == 2
+
+    def test_clique_tight(self):
+        # K5: 10 triangles, 10 edges -> ceil(1) + 2 = 3 <= 5.
+        assert bounds.nash_williams_lower_bound(10, 10) == 3
+
+    @given(small_graphs(max_n=16))
+    def test_always_sound(self, g):
+        k_max, _ = max_truss_edges(g)
+        lb = bounds.nash_williams_lower_bound(g.triangle_count(), g.m)
+        if g.m:
+            assert lb <= max(k_max, 2)
+
+
+class TestLemma1:
+    def test_clique_tight(self):
+        # K_c: 3*C(c,3)/C(c,2) + 2 = c exactly.
+        for c in (4, 5, 8):
+            g = complete_graph(c)
+            lb = bounds.lemma1_lower_bound(g.triangle_count(), g.m, 0)
+            assert lb == c
+
+    def test_no_triangles(self):
+        assert bounds.lemma1_lower_bound(0, 5, 5) == 2
+
+    def test_triangle_fan_overshoots(self):
+        """The documented soundness gap: Lemma 1 exceeds k_max on a fan.
+
+        This is the reproduction finding recorded in bounds.py: the
+        algorithms guard against it with verification sweeps.
+        """
+        edges = [(0, 1)]
+        for w in range(2, 6):  # 4 pendant triangles over hub edge (0, 1)
+            edges.append((0, w))
+            edges.append((1, w))
+        g = Graph.from_edges(edges)
+        k_max, _ = max_truss_edges(g)
+        assert k_max == 3
+        lb = bounds.lemma1_lower_bound(g.triangle_count(), g.m, 0)
+        assert lb > k_max  # the overshoot the safety nets exist for
+
+    def test_dynamic_form(self):
+        assert bounds.lemma1_dynamic_lower_bound(0, 10) == 2
+        assert bounds.lemma1_dynamic_lower_bound(10, 0) == 2
+        assert bounds.lemma1_dynamic_lower_bound(10, 10) == 5
+
+
+class TestUpperBounds:
+    def test_support_upper_bound(self):
+        assert bounds.support_upper_bound(3) == 5
+        assert bounds.support_upper_bound(0) == 2
+        assert bounds.support_upper_bound(-1) == 2
+
+    def test_edge_core_upper_bound(self):
+        assert bounds.edge_core_upper_bound(3, 5) == 4
+
+    def test_core_upper_bound_aggregate(self):
+        g = paper_example_graph()
+        coreness = core_decomposition_inmemory(g)
+        assert bounds.core_upper_bound(coreness, g.edges) == 4
+
+    def test_core_upper_bound_empty(self):
+        assert bounds.core_upper_bound(np.array([]), np.empty((0, 2))) == 2
+
+    @given(triangle_rich_graphs())
+    def test_upper_bounds_sound(self, g):
+        k_max, _ = max_truss_edges(g)
+        scan_max = int(g.edge_supports().max()) if g.m else 0
+        assert k_max <= bounds.support_upper_bound(scan_max)
+        coreness = core_decomposition_inmemory(g)
+        assert k_max <= bounds.core_upper_bound(coreness, g.edges)
+
+    @given(small_graphs(max_n=16))
+    def test_lemma3_per_edge(self, g):
+        """τ(e) <= min(core(u), core(v)) + 1 for every edge."""
+        if g.m == 0:
+            return
+        from repro.baselines import truss_decomposition
+
+        trussness = truss_decomposition(g)
+        coreness = core_decomposition_inmemory(g)
+        for eid in range(g.m):
+            u, v = g.edges[eid]
+            assert trussness[eid] <= bounds.edge_core_upper_bound(
+                int(coreness[u]), int(coreness[v])
+            )
+
+
+class TestHelpers:
+    def test_greedy_lower_bound(self):
+        assert bounds.greedy_lower_bound(7) == 7
+        assert bounds.greedy_lower_bound(0) == 2
+
+    def test_clamp_bounds(self):
+        assert bounds.clamp_bounds(1, 10) == (3, 10)
+        assert bounds.clamp_bounds(5, 10) == (5, 10)
+        assert bounds.clamp_bounds(12, 10) == (11, 10)  # empty interval

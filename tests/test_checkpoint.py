@@ -1,0 +1,99 @@
+"""Tests for DynamicMaxTruss checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import max_truss_edges
+from repro.dynamic import DynamicMaxTruss, load_checkpoint, save_checkpoint
+from repro.errors import GraphFormatError
+from repro.graph.generators import gnp_random, paper_example_graph
+from repro.graph.memgraph import Graph
+
+
+class TestRoundtrip:
+    def test_fresh_state(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        state = DynamicMaxTruss(paper_example_graph())
+        size = save_checkpoint(state, path)
+        assert size > 0
+        restored = load_checkpoint(path)
+        assert restored.k_max == state.k_max
+        assert restored.truss_pairs() == state.truss_pairs()
+        assert restored.graph.m == state.graph.m
+
+    def test_after_updates(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        state = DynamicMaxTruss(paper_example_graph())
+        state.insert(0, 4)
+        state.delete(2, 3)
+        save_checkpoint(state, path)
+        restored = load_checkpoint(path)
+        assert restored.k_max == state.k_max
+        assert restored.truss_pairs() == state.truss_pairs()
+        assert restored._insertions_since_refresh == state._insertions_since_refresh
+        assert np.array_equal(restored._coreness, state._coreness)
+
+    def test_restored_state_keeps_maintaining_exactly(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        g = gnp_random(15, 0.3, seed=4)
+        state = DynamicMaxTruss(g)
+        mutable = g.to_mutable()
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            u, v = int(rng.integers(0, 15)), int(rng.integers(0, 15))
+            if u == v:
+                continue
+            if mutable.has_edge(u, v):
+                mutable.delete_edge(u, v)
+                state.delete(u, v)
+            else:
+                mutable.insert_edge(u, v)
+                state.insert(u, v)
+        save_checkpoint(state, path)
+        restored = load_checkpoint(path)
+        # Continue updating the restored copy and re-verify exactness.
+        for _ in range(10):
+            u, v = int(rng.integers(0, 15)), int(rng.integers(0, 15))
+            if u == v:
+                continue
+            if mutable.has_edge(u, v):
+                mutable.delete_edge(u, v)
+                restored.delete(u, v)
+            else:
+                mutable.insert_edge(u, v)
+                restored.insert(u, v)
+            frozen, _ = mutable.to_graph()
+            expected_k, expected_edges = max_truss_edges(frozen)
+            assert restored.k_max == expected_k
+            assert restored.truss_pairs() == expected_edges
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        state = DynamicMaxTruss(Graph.empty(5))
+        save_checkpoint(state, path)
+        restored = load_checkpoint(path)
+        assert restored.k_max == 0
+        assert restored.graph.n >= 5
+
+
+class TestErrors:
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"\x01")
+        with pytest.raises(GraphFormatError):
+            load_checkpoint(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(GraphFormatError):
+            load_checkpoint(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        state = DynamicMaxTruss(paper_example_graph())
+        save_checkpoint(state, path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[:-16])
+        with pytest.raises(GraphFormatError):
+            load_checkpoint(path)

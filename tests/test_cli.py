@@ -1,0 +1,155 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.edgelist import write_text_edgelist
+from repro.graph.generators import paper_example_graph
+
+
+@pytest.fixture
+def example_file(tmp_path):
+    path = tmp_path / "example.txt"
+    write_text_edgelist(paper_example_graph(), path)
+    return str(path)
+
+
+class TestCompute:
+    def test_compute_from_file(self, example_file, capsys):
+        assert main(["compute", example_file]) == 0
+        out = capsys.readouterr().out
+        assert "k_max: 4" in out
+        assert "truss edges: 15" in out
+
+    def test_compute_named_dataset(self, capsys):
+        assert main(["compute", "cagrqc-s", "--method", "semi-greedy-core"]) == 0
+        assert "k_max:" in capsys.readouterr().out
+
+    def test_compute_show_edges(self, example_file, capsys):
+        assert main(["compute", example_file, "--show-edges"]) == 0
+        assert "0 1" in capsys.readouterr().out
+
+    def test_compute_every_method(self, example_file, capsys):
+        for method in ("semi-binary", "semi-greedy-core", "semi-lazy-update",
+                       "bottom-up", "top-down", "in-memory"):
+            assert main(["compute", example_file, "--method", method]) == 0
+            assert "k_max: 4" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["compute", "/no/such/file"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_agreeing_methods(self, example_file, capsys):
+        assert main(["compare", example_file]) == 0
+        out = capsys.readouterr().out
+        assert "SemiBinary" in out
+        assert "SemiLazyUpdate" in out
+
+    def test_compare_markdown(self, example_file, capsys):
+        assert main(["compare", example_file, "--format", "markdown",
+                     "--methods", "in-memory", "semi-lazy-update"]) == 0
+        assert capsys.readouterr().out.startswith("| algorithm")
+
+
+class TestFormats:
+    def test_compute_markdown_format(self, example_file, capsys):
+        assert main(["compute", example_file, "--format", "markdown"]) == 0
+        assert "| metric" in capsys.readouterr().out
+
+    def test_compute_csv_format(self, example_file, capsys):
+        assert main(["compute", example_file, "--format", "csv"]) == 0
+        assert "k_max,4" in capsys.readouterr().out
+
+
+class TestEstimate:
+    def test_estimate_output(self, example_file, capsys):
+        assert main(["estimate", example_file, "--samples", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated triangles" in out
+        assert "Lemma 1 seed" in out
+
+
+class TestStats:
+    def test_stats(self, example_file, capsys):
+        assert main(["stats", example_file]) == 0
+        out = capsys.readouterr().out
+        assert "kmax" in out
+
+
+class TestGenerate:
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        target = str(tmp_path / "out.txt")
+        assert main(["generate", "diseasome-s", target, "--seed", "2"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["stats", target]) == 0
+
+
+class TestMaintain:
+    def test_update_stream(self, example_file, tmp_path, capsys):
+        updates = tmp_path / "updates.txt"
+        updates.write_text("# stream\n+0 4\n-0 4\n")
+        assert main(["maintain", example_file, "--updates", str(updates)]) == 0
+        out = capsys.readouterr().out
+        assert "initial k_max: 4" in out
+        assert "k_max 4 -> 5" in out
+        assert "final k_max: 4" in out
+
+    def test_malformed_update(self, example_file, tmp_path, capsys):
+        updates = tmp_path / "updates.txt"
+        updates.write_text("+x y\n")
+        assert main(["maintain", example_file, "--updates", str(updates)]) == 2
+
+    def test_bad_update_semantics(self, example_file, tmp_path, capsys):
+        updates = tmp_path / "updates.txt"
+        updates.write_text("-0 7\n")  # absent edge
+        assert main(["maintain", example_file, "--updates", str(updates)]) == 1
+
+    def test_batch_mode(self, example_file, tmp_path, capsys):
+        updates = tmp_path / "updates.txt"
+        updates.write_text("+0 4\n")
+        assert main(
+            ["maintain", example_file, "--updates", str(updates), "--batch"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch of 1 ops" in out
+        assert "final k_max: 5" in out
+
+
+class TestCommunity:
+    def test_community_query(self, example_file, capsys):
+        assert main(["community", example_file, "0", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "community trussness k: 4" in out
+
+    def test_triangle_connectivity_flag(self, example_file, capsys):
+        assert main(
+            ["community", example_file, "0", "--connectivity", "triangle"]
+        ) == 0
+
+    def test_no_community(self, tmp_path, capsys):
+        path = tmp_path / "two.txt"
+        path.write_text("0 1\n2 3\n")
+        assert main(["community", str(path), "0", "3"]) == 3
+        assert "no common community" in capsys.readouterr().out
+
+
+class TestDecompose:
+    def test_decompose_output(self, example_file, capsys):
+        assert main(["decompose", example_file]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 16  # header + 15 edges
+        assert all(line.split()[-1] == "4" for line in out[1:])
+
+
+class TestHierarchy:
+    def test_level_profile(self, example_file, capsys):
+        assert main(["hierarchy", example_file]) == 0
+        out = capsys.readouterr().out
+        assert "k_max=4" in out
+        assert "class_size" in out
+
+    def test_markdown_format(self, example_file, capsys):
+        assert main(["hierarchy", example_file, "--format", "markdown"]) == 0
+        assert "| k" in capsys.readouterr().out

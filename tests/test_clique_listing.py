@@ -1,0 +1,103 @@
+"""Tests for clique listing (the FPT motivation)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.clique_listing import (
+    count_k_cliques,
+    list_k_cliques,
+    maximal_cliques,
+    triangle_list,
+)
+from repro.graph.generators import complete_graph, cycle_graph, paper_example_graph
+from repro.graph.memgraph import Graph
+from repro.semiexternal.triangles import enumerate_triangles
+
+from conftest import small_graphs, triangle_rich_graphs
+
+
+class TestMaximalCliques:
+    def test_clique_graph(self):
+        assert list(maximal_cliques(complete_graph(4))) == [[0, 1, 2, 3]]
+
+    def test_cycle(self):
+        cliques = sorted(tuple(c) for c in maximal_cliques(cycle_graph(5)))
+        assert cliques == [(0, 1), (0, 4), (1, 2), (2, 3), (3, 4)]
+
+    def test_empty_graph(self):
+        assert list(maximal_cliques(Graph.empty(0))) == []
+
+    def test_isolated_vertices_are_maximal(self):
+        g = Graph.from_edges([(0, 1)], n=3)
+        assert sorted(tuple(c) for c in maximal_cliques(g)) == [(0, 1), (2,)]
+
+    @given(small_graphs(max_n=14))
+    @settings(max_examples=20)
+    def test_matches_networkx(self, g):
+        if g.n == 0:
+            return
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(g.n))
+        nx_graph.add_edges_from(g.edge_pairs())
+        expected = sorted(tuple(sorted(c)) for c in nx.find_cliques(nx_graph))
+        got = sorted(tuple(c) for c in maximal_cliques(g))
+        assert got == expected
+
+
+class TestKCliques:
+    def test_k1_is_vertices(self):
+        assert sorted(list_k_cliques(Graph.empty(3), 1)) == [(0,), (1,), (2,)]
+
+    def test_k2_is_edges(self):
+        g = paper_example_graph()
+        assert sorted(list_k_cliques(g, 2)) == g.edge_pairs()
+
+    def test_k3_is_triangles(self):
+        g = paper_example_graph()
+        assert triangle_list(g) == sorted(enumerate_triangles(g))
+
+    def test_counts_on_complete_graph(self):
+        from math import comb
+
+        g = complete_graph(7)
+        for k in range(1, 8):
+            assert count_k_cliques(g, k) == comb(7, k)
+
+    def test_k_above_omega_is_empty(self):
+        assert count_k_cliques(paper_example_graph(), 5) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            count_k_cliques(complete_graph(3), 0)
+
+    def test_truss_pruning_preserves_answers(self):
+        g = paper_example_graph()
+        for k in (3, 4):
+            pruned = sorted(list_k_cliques(g, k, truss_prune=True))
+            unpruned = sorted(list_k_cliques(g, k, truss_prune=False))
+            assert pruned == unpruned
+
+    @given(triangle_rich_graphs(max_n=12))
+    @settings(max_examples=15)
+    def test_matches_networkx_counts(self, g):
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(g.n))
+        nx_graph.add_edges_from(g.edge_pairs())
+        by_size = {}
+        for clique in nx.enumerate_all_cliques(nx_graph):
+            by_size[len(clique)] = by_size.get(len(clique), 0) + 1
+        for k in (3, 4):
+            assert count_k_cliques(g, k) == by_size.get(k, 0)
+
+    def test_kmax_bounds_clique_number(self):
+        """ω(G) <= k_max — the FPT parameterisation claim."""
+        from repro.analysis.cliques import clique_number
+        from repro.baselines import max_truss_edges
+
+        for seed in range(4):
+            from repro.graph.generators import gnp_random
+
+            g = gnp_random(22, 0.4, seed=seed)
+            k_max, _ = max_truss_edges(g)
+            assert clique_number(g) <= max(k_max, 2)

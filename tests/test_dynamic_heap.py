@@ -1,0 +1,126 @@
+"""Tests for the in-memory DynamicHeap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HeapEmptyError, HeapError
+from repro.structures import DynamicHeap
+
+
+class TestBasics:
+    def test_push_pop_order(self):
+        heap = DynamicHeap()
+        heap.push(1, 5)
+        heap.push(2, 3)
+        heap.push(3, 8)
+        assert heap.pop() == (2, 3)
+        assert heap.pop() == (1, 5)
+        assert heap.pop() == (3, 8)
+
+    def test_len_and_contains(self):
+        heap = DynamicHeap()
+        heap.push(7, 1)
+        assert len(heap) == 1
+        assert 7 in heap
+        assert 8 not in heap
+
+    def test_top_does_not_remove(self):
+        heap = DynamicHeap()
+        heap.push(1, 2)
+        assert heap.top() == (1, 2)
+        assert len(heap) == 1
+
+    def test_top_key_empty(self):
+        assert DynamicHeap().top_key() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(HeapEmptyError):
+            DynamicHeap().pop()
+        with pytest.raises(HeapEmptyError):
+            DynamicHeap().top()
+
+    def test_duplicate_push_rejected(self):
+        heap = DynamicHeap()
+        heap.push(1, 2)
+        with pytest.raises(HeapError):
+            heap.push(1, 3)
+
+    def test_key_of(self):
+        heap = DynamicHeap()
+        heap.push(4, 9)
+        assert heap.key_of(4) == 9
+        with pytest.raises(HeapError):
+            heap.key_of(5)
+
+
+class TestUpdates:
+    def test_decrease_key_moves_up(self):
+        heap = DynamicHeap()
+        heap.push(1, 10)
+        heap.push(2, 5)
+        heap.decrease_key(1, 1)
+        assert heap.pop() == (1, 1)
+
+    def test_decrease_key_cannot_raise(self):
+        heap = DynamicHeap()
+        heap.push(1, 5)
+        with pytest.raises(HeapError):
+            heap.decrease_key(1, 6)
+
+    def test_decrement(self):
+        heap = DynamicHeap()
+        heap.push(1, 5)
+        assert heap.decrement(1) == 4
+        assert heap.key_of(1) == 4
+
+    def test_remove_middle(self):
+        heap = DynamicHeap()
+        for eid, key in [(1, 3), (2, 1), (3, 7), (4, 2)]:
+            heap.push(eid, key)
+        assert heap.remove(3) == 7
+        assert 3 not in heap
+        popped = [heap.pop() for _ in range(3)]
+        assert [key for _, key in popped] == [1, 2, 3]
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(HeapError):
+            DynamicHeap().remove(9)
+
+    def test_items(self):
+        heap = DynamicHeap()
+        heap.push(1, 5)
+        heap.push(2, 3)
+        assert sorted(heap.items()) == [(1, 5), (2, 3)]
+
+    def test_nbytes_tracks_size(self):
+        heap = DynamicHeap()
+        assert heap.nbytes == 0
+        heap.push(1, 1)
+        assert heap.nbytes == 24
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30),
+                  st.integers(min_value=0, max_value=100)),
+        max_size=60,
+    )
+)
+def test_behaves_like_sorted_multiset(operations):
+    """Pushing distinct eids then draining yields keys in sorted order."""
+    heap = DynamicHeap()
+    reference = {}
+    for eid, key in operations:
+        if eid in reference:
+            if key <= reference[eid]:
+                heap.decrease_key(eid, key)
+                reference[eid] = key
+        else:
+            heap.push(eid, key)
+            reference[eid] = key
+    drained = []
+    while len(heap):
+        drained.append(heap.pop())
+    assert sorted(reference.items()) == sorted((e, k) for e, k in drained)
+    assert [k for _, k in drained] == sorted(k for _, k in drained)

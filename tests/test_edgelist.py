@@ -1,0 +1,127 @@
+"""Tests for edge-list file I/O."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.edgelist import (
+    graph_from_bytes,
+    graph_to_bytes,
+    read_binary,
+    read_edgelist,
+    read_text_edgelist,
+    sniff_format,
+    write_binary,
+    write_text_edgelist,
+)
+from repro.graph.generators import complete_graph, paper_example_graph
+
+
+class TestText:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "g.txt"
+        g = paper_example_graph()
+        write_text_edgelist(g, path)
+        back = read_text_edgelist(path)
+        assert back.edge_pairs() == g.edge_pairs()
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n% also comment\n0 1\n1 2\n")
+        g = read_text_edgelist(path)
+        assert g.m == 2
+
+    def test_extra_fields_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5\n1 2 0.25\n")
+        assert read_text_edgelist(path).m == 2
+
+    def test_compaction(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 200\n200 300\n")
+        g = read_text_edgelist(path, compact=True)
+        assert g.n == 3
+        assert g.edge_pairs() == [(0, 1), (1, 2)]
+
+    def test_no_compaction(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("3 7\n")
+        g = read_text_edgelist(path, compact=False)
+        assert g.n == 8
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_text_edgelist(path)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_text_edgelist(path)
+
+    def test_negative_id(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_text_edgelist(path)
+
+
+class TestBinary:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "g.bin"
+        g = complete_graph(6)
+        write_binary(g, path)
+        back = read_binary(path)
+        assert back.n == g.n
+        assert back.edge_pairs() == g.edge_pairs()
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "g.bin"
+        path.write_bytes(b"\x00\x01")
+        with pytest.raises(GraphFormatError):
+            read_binary(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "g.bin"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(GraphFormatError):
+            read_binary(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "g.bin"
+        g = complete_graph(4)
+        write_binary(g, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(GraphFormatError):
+            read_binary(path)
+
+    def test_bytes_roundtrip(self):
+        g = paper_example_graph()
+        assert graph_from_bytes(graph_to_bytes(g)).edge_pairs() == g.edge_pairs()
+
+    def test_bytes_errors(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_bytes(b"short")
+
+
+class TestSniffing:
+    def test_sniff_binary(self, tmp_path):
+        path = tmp_path / "g.bin"
+        write_binary(complete_graph(3), path)
+        assert sniff_format(path) == "binary"
+
+    def test_sniff_text(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        assert sniff_format(path) == "text"
+
+    def test_read_edgelist_dispatch(self, tmp_path):
+        g = complete_graph(4)
+        binary_path = tmp_path / "g.bin"
+        text_path = tmp_path / "g.txt"
+        write_binary(g, binary_path)
+        write_text_edgelist(g, text_path)
+        assert read_edgelist(binary_path).edge_pairs() == g.edge_pairs()
+        assert read_edgelist(text_path).edge_pairs() == g.edge_pairs()

@@ -1,0 +1,82 @@
+"""Tests for DOT/JSON exports."""
+
+import json
+
+import pytest
+
+from repro.analysis.hierarchy import TrussHierarchy
+from repro.applications import truss_community
+from repro.applications.export import (
+    community_to_json,
+    hierarchy_to_json,
+    load_community_json,
+    to_dot,
+)
+from repro.graph.generators import complete_graph, paper_example_graph, word_association
+
+
+class TestDot:
+    def test_basic_structure(self):
+        dot = to_dot(complete_graph(3))
+        assert dot.startswith('graph "G" {')
+        assert dot.rstrip().endswith("}")
+        assert "0 -- 1" in dot
+        assert dot.count("--") == 3
+
+    def test_highlighting(self):
+        g = paper_example_graph()
+        dot = to_dot(g, highlight_edges=[(0, 1), (4, 0)])
+        assert "penwidth=3" in dot
+        assert "gray60" in dot  # non-highlighted edges dimmed
+
+    def test_labels_and_quoting(self):
+        g = complete_graph(2)
+        dot = to_dot(g, labels=['say "hi"', "b"])
+        assert '\\"hi\\"' in dot
+
+    def test_isolated_vertices_skipped(self):
+        from repro.graph.memgraph import Graph
+
+        dot = to_dot(Graph.from_edges([(0, 1)], n=5))
+        assert " 4 " not in dot
+
+
+class TestCommunityJson:
+    def test_roundtrip(self):
+        g = paper_example_graph()
+        community = truss_community(g, [0, 3])
+        payload = community_to_json(community)
+        parsed = json.loads(payload)
+        assert parsed["k"] == 4
+        restored = load_community_json(payload)
+        assert restored.k == community.k
+        assert restored.edges == community.edges
+        assert restored.vertices == community.vertices
+
+    def test_labels_included(self):
+        g, labels = word_association(num_communities=1, community_size=6,
+                                     intra_missing=0.0, noise_words=0, seed=0)
+        community = truss_community(g, [0])
+        payload = json.loads(community_to_json(community, labels=labels))
+        assert payload["labels"]
+        assert all(
+            word.startswith("alcohol") for word in payload["labels"].values()
+        )
+
+
+class TestHierarchyJson:
+    def test_structure(self):
+        g = paper_example_graph()
+        payload = json.loads(hierarchy_to_json(TrussHierarchy(g)))
+        assert payload["k_max"] == 4
+        assert payload["m"] == 15
+        top = payload["levels"][0]
+        assert top["k"] == 4
+        assert top["class_size"] == 15
+        assert top["communities"][0]["edges"] == 15
+
+    def test_max_levels_cap(self):
+        g = paper_example_graph()
+        payload = json.loads(hierarchy_to_json(TrussHierarchy(g), max_levels=1))
+        assert len(payload["levels"]) == 1
+        assert payload["levels"][0]["k"] == 4

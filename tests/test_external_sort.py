@@ -1,0 +1,115 @@
+"""Tests for the external merge sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import (
+    BlockDevice,
+    DiskArray,
+    external_argsort_by_key,
+    external_sort,
+    external_sort_by_key,
+)
+
+
+def _sorted_via_external(values, memory_elems=8, fan_in=2):
+    dev = BlockDevice(block_size=32, cache_blocks=8)
+    arr = DiskArray.from_numpy(dev, np.array(values, dtype=np.int64))
+    result = external_sort(arr, memory_elems=memory_elems, fan_in=fan_in)
+    return list(result.to_numpy())
+
+
+class TestExternalSort:
+    def test_empty(self):
+        assert _sorted_via_external([]) == []
+
+    def test_single_element(self):
+        assert _sorted_via_external([5]) == [5]
+
+    def test_already_sorted(self):
+        assert _sorted_via_external(list(range(20))) == list(range(20))
+
+    def test_reverse_sorted(self):
+        assert _sorted_via_external(list(range(20, 0, -1))) == list(range(1, 21))
+
+    def test_duplicates(self):
+        values = [3, 1, 3, 1, 2, 2, 3]
+        assert _sorted_via_external(values) == sorted(values)
+
+    def test_multiple_merge_levels(self):
+        # 100 elements with 8-element runs and fan-in 2 -> several passes.
+        rng = np.random.default_rng(0)
+        values = rng.integers(-1000, 1000, size=100).tolist()
+        assert _sorted_via_external(values) == sorted(values)
+
+    def test_memory_budget_validated(self):
+        dev = BlockDevice(block_size=32, cache_blocks=8)
+        arr = DiskArray.from_numpy(dev, np.arange(4))
+        with pytest.raises(ValueError):
+            external_sort(arr, memory_elems=2)
+
+    def test_sort_charges_io(self):
+        dev = BlockDevice(block_size=32, cache_blocks=2)
+        arr = DiskArray.from_numpy(dev, np.arange(200)[::-1].copy())
+        dev.stats.reset()
+        external_sort(arr, memory_elems=16, fan_in=2)
+        assert dev.stats.read_ios > 0
+
+    @given(st.lists(st.integers(min_value=-(10**9), max_value=10**9), max_size=80))
+    def test_matches_python_sorted(self, values):
+        assert _sorted_via_external(values, memory_elems=8, fan_in=3) == sorted(values)
+
+
+class TestArgsortByKey:
+    def test_permutation_sorts_keys(self):
+        dev = BlockDevice(block_size=32, cache_blocks=8)
+        keys = DiskArray.from_numpy(dev, np.array([5, 1, 4, 1, 3], dtype=np.int64))
+        order = external_argsort_by_key(keys, memory_elems=8)
+        gathered = keys.gather(order.to_numpy())
+        assert list(gathered) == [1, 1, 3, 4, 5]
+
+    def test_stability(self):
+        dev = BlockDevice(block_size=32, cache_blocks=8)
+        keys = DiskArray.from_numpy(dev, np.array([2, 1, 2, 1], dtype=np.int64))
+        order = list(external_argsort_by_key(keys, memory_elems=8).to_numpy())
+        assert order == [1, 3, 0, 2]
+
+    def test_rejects_negative_keys(self):
+        dev = BlockDevice(block_size=32, cache_blocks=8)
+        keys = DiskArray.from_numpy(dev, np.array([-1, 2], dtype=np.int64))
+        with pytest.raises(ValueError):
+            external_argsort_by_key(keys, memory_elems=8)
+
+    def test_empty(self):
+        dev = BlockDevice(block_size=32, cache_blocks=8)
+        keys = DiskArray(dev, 0)
+        assert len(external_argsort_by_key(keys)) == 0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=60)
+    )
+    def test_argsort_property(self, values):
+        dev = BlockDevice(block_size=32, cache_blocks=8)
+        keys = DiskArray.from_numpy(dev, np.array(values, dtype=np.int64))
+        order = external_argsort_by_key(keys, memory_elems=8).to_numpy()
+        assert sorted(order.tolist()) == list(range(len(values)))
+        gathered = [values[i] for i in order]
+        assert gathered == sorted(values)
+
+
+class TestSortByKey:
+    def test_values_follow_keys(self):
+        dev = BlockDevice(block_size=32, cache_blocks=8)
+        keys = DiskArray.from_numpy(dev, np.array([3, 1, 2], dtype=np.int64))
+        values = DiskArray.from_numpy(dev, np.array([30, 10, 20], dtype=np.int64))
+        result = external_sort_by_key(keys, values, memory_elems=8)
+        assert list(result.to_numpy()) == [10, 20, 30]
+
+    def test_length_mismatch(self):
+        dev = BlockDevice(block_size=32, cache_blocks=8)
+        keys = DiskArray.from_numpy(dev, np.array([1], dtype=np.int64))
+        values = DiskArray.from_numpy(dev, np.array([1, 2], dtype=np.int64))
+        with pytest.raises(ValueError):
+            external_sort_by_key(keys, values)

@@ -1,0 +1,116 @@
+"""Tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import max_truss_edges
+from repro.graph import generators as gen
+
+
+class TestDeterministicGraphs:
+    def test_complete_graph(self):
+        g = gen.complete_graph(5)
+        assert (g.n, g.m) == (5, 10)
+        assert max_truss_edges(g)[0] == 5
+
+    def test_cycle_graph(self):
+        g = gen.cycle_graph(7)
+        assert (g.n, g.m) == (7, 7)
+        assert g.triangle_count() == 0
+
+    def test_cycle_rejects_small(self):
+        with pytest.raises(ValueError):
+            gen.cycle_graph(2)
+
+    def test_star_graph(self):
+        g = gen.star_graph(6)
+        assert g.degree(0) == 6
+        assert g.triangle_count() == 0
+
+    def test_paper_example_kmax(self):
+        g = gen.paper_example_graph()
+        k, edges = max_truss_edges(g)
+        assert k == 4
+        assert len(edges) == 15  # the whole graph is the 4-class
+
+
+class TestRandomFamilies:
+    def test_gnp_deterministic_per_seed(self):
+        a = gen.gnp_random(30, 0.2, seed=5)
+        b = gen.gnp_random(30, 0.2, seed=5)
+        assert a.edge_pairs() == b.edge_pairs()
+
+    def test_gnp_different_seeds_differ(self):
+        a = gen.gnp_random(30, 0.3, seed=1)
+        b = gen.gnp_random(30, 0.3, seed=2)
+        assert a.edge_pairs() != b.edge_pairs()
+
+    def test_gnp_trivial(self):
+        assert gen.gnp_random(1, 0.5).m == 0
+        assert gen.gnp_random(10, 0).m == 0
+
+    def test_gnm_edge_count(self):
+        g = gen.gnm_random(20, 30, seed=0)
+        assert g.m == 30
+
+    def test_gnm_caps_at_complete(self):
+        g = gen.gnm_random(4, 100, seed=0)
+        assert g.m == 6
+
+    def test_chung_lu_density(self):
+        g = gen.chung_lu(500, average_degree=6.0, seed=3)
+        assert 0.5 * 1500 <= g.m <= 1500 * 1.1
+
+    def test_chung_lu_heavy_tail(self):
+        g = gen.chung_lu(500, average_degree=6.0, exponent=2.1, seed=3)
+        assert g.max_degree > 3 * g.degrees.mean()
+
+    def test_barabasi_albert(self):
+        g = gen.barabasi_albert(100, attach=3, seed=0)
+        assert g.n == 100
+        # every later vertex attaches 3 times
+        assert g.m >= 3 * (100 - 3) * 0.9
+
+    def test_kronecker_shape(self):
+        g = gen.kronecker(6, edge_factor=8, seed=1)
+        assert g.n == 64
+        assert g.m > 0
+
+    def test_random_geometric_local(self):
+        g = gen.random_geometric(200, 0.12, seed=2)
+        assert g.m > 0
+        assert g.triangle_count() > 0  # geometric graphs are triangle-rich
+
+    def test_grid_road_small_kmax(self):
+        g = gen.grid_road(8, 8, diagonal_prob=0.2, seed=0)
+        k, _ = max_truss_edges(g)
+        assert k <= 4  # road networks have tiny trussness
+
+
+class TestPlantedStructures:
+    def test_planted_truss_recovers_core(self):
+        g = gen.planted_kmax_truss(12, periphery_n=80, seed=0)
+        k, edges = max_truss_edges(g)
+        assert k == 12
+        vertices = {x for e in edges for x in e}
+        assert vertices == set(range(12))
+
+    def test_planted_truss_validates_core_size(self):
+        with pytest.raises(ValueError):
+            gen.planted_kmax_truss(2)
+
+    def test_word_association_labels(self):
+        g, labels = gen.word_association(num_communities=2, community_size=6,
+                                         noise_words=10, seed=4)
+        assert len(labels) == g.n == 2 * 6 + 10
+        assert labels[0].startswith("alcohol")
+        assert labels[-1].startswith("noise")
+
+    def test_word_association_community_is_dense(self):
+        g, labels = gen.word_association(num_communities=1, community_size=8,
+                                         intra_missing=0.0, noise_words=0, seed=0)
+        assert g.m == 8 * 7 // 2
+
+    def test_word_association_too_many_communities(self):
+        with pytest.raises(ValueError):
+            gen.word_association(num_communities=99)

@@ -1,0 +1,104 @@
+"""Tests for the TrussHierarchy object."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.hierarchy import TrussHierarchy
+from repro.baselines import k_truss_edges, truss_decomposition
+from repro.graph.generators import complete_graph, paper_example_graph, planted_kmax_truss
+from repro.graph.memgraph import Graph
+
+from conftest import small_graphs
+
+
+@pytest.fixture
+def mixed():
+    """K5 + pendant triangle + bridge edge: three distinct classes."""
+    edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+    edges += [(4, 5), (4, 6), (5, 6)]      # trussness-3 triangle
+    edges += [(6, 7)]                       # trussness-2 bridge
+    return Graph.from_edges(edges)
+
+
+class TestPointQueries:
+    def test_trussness(self, mixed):
+        hierarchy = TrussHierarchy(mixed)
+        assert hierarchy.trussness(0, 1) == 5
+        assert hierarchy.trussness(4, 5) == 3
+        assert hierarchy.trussness(6, 7) == 2
+        assert hierarchy.k_max == 5
+
+    def test_absent_edge(self, mixed):
+        with pytest.raises(KeyError):
+            TrussHierarchy(mixed).trussness(0, 7)
+
+    def test_values_copy(self, mixed):
+        hierarchy = TrussHierarchy(mixed)
+        values = hierarchy.trussness_values()
+        values[:] = 0
+        assert hierarchy.k_max == 5  # internal state untouched
+
+
+class TestLevelQueries:
+    def test_k_truss_edges(self, mixed):
+        hierarchy = TrussHierarchy(mixed)
+        assert len(hierarchy.k_truss_edges(5)) == 10
+        assert len(hierarchy.k_truss_edges(3)) == 13
+        assert len(hierarchy.k_truss_edges(2)) == 14
+
+    def test_k_class_edges(self, mixed):
+        hierarchy = TrussHierarchy(mixed)
+        assert hierarchy.k_class_edges(3) == [(4, 5), (4, 6), (5, 6)]
+        assert hierarchy.k_class_edges(2) == [(6, 7)]
+        assert hierarchy.k_class_edges(4) == []
+
+    def test_level_profile(self, mixed):
+        assert TrussHierarchy(mixed).level_profile() == {2: 1, 3: 3, 5: 10}
+
+    def test_invalid_k(self, mixed):
+        with pytest.raises(ValueError):
+            TrussHierarchy(mixed).k_truss_edges(1)
+
+    def test_empty_graph(self):
+        hierarchy = TrussHierarchy(Graph.empty(4))
+        assert hierarchy.k_max == 0
+        assert hierarchy.k_truss_edges(3) == []
+        assert hierarchy.level_profile() == {}
+
+
+class TestCommunities:
+    def test_communities_split(self):
+        # Two disjoint K4s: one community each at level 4.
+        edges = complete_graph(4).edge_pairs()
+        edges += [(u + 10, v + 10) for u, v in complete_graph(4).edge_pairs()]
+        hierarchy = TrussHierarchy(Graph.from_edges(edges))
+        assert len(hierarchy.communities(4)) == 2
+        assert len(hierarchy.max_truss_communities()) == 2
+
+    def test_containment_chain_shrinks(self):
+        g = planted_kmax_truss(6, periphery_n=40, seed=2)
+        hierarchy = TrussHierarchy(g)
+        chain = hierarchy.containment_chain(0, 1)
+        assert chain[0][0] == 3
+        assert chain[-1][0] == hierarchy.trussness(0, 1)
+        sizes = [size for _k, size in chain]
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_communities_cached(self, mixed):
+        hierarchy = TrussHierarchy(mixed)
+        first = hierarchy.communities(3)
+        assert hierarchy.communities(3) is first
+
+
+@given(small_graphs(max_n=14))
+@settings(max_examples=20)
+def test_matches_reference_everywhere(g):
+    hierarchy = TrussHierarchy(g)
+    if g.m == 0:
+        return
+    assert np.array_equal(hierarchy.trussness_values(), truss_decomposition(g))
+    for k in (3, 4):
+        assert hierarchy.k_truss_edges(k) == k_truss_edges(g, k)
+    profile = hierarchy.level_profile()
+    assert sum(profile.values()) == g.m

@@ -1,0 +1,113 @@
+"""Tests for the in-memory ground-truth truss decomposition."""
+
+import numpy as np
+from hypothesis import given
+
+from repro.baselines import (
+    in_memory_max_truss,
+    k_classes,
+    k_truss_edges,
+    max_truss_edges,
+    truss_decomposition,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    paper_example_graph,
+    planted_kmax_truss,
+)
+from repro.graph.memgraph import Graph
+
+from conftest import graph_from_networkx_check, small_graphs
+
+
+class TestTrussDecomposition:
+    def test_clique(self):
+        assert list(truss_decomposition(complete_graph(5))) == [5] * 10
+
+    def test_triangle_free(self):
+        assert list(truss_decomposition(cycle_graph(6))) == [2] * 6
+
+    def test_paper_example(self):
+        g = paper_example_graph()
+        assert list(truss_decomposition(g)) == [4] * 15
+
+    def test_mixed_trussness(self):
+        # K5 with a pendant triangle: K5 edges -> 5, triangle edges -> 3.
+        edges = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        edges += [(4, 5), (4, 6), (5, 6)]
+        g = Graph.from_edges(edges)
+        trussness = truss_decomposition(g)
+        for eid in range(g.m):
+            u, v = g.edges[eid]
+            expected = 5 if v < 5 else 3
+            assert trussness[eid] == expected
+
+    def test_empty(self):
+        assert truss_decomposition(Graph.empty(4)).size == 0
+
+    @given(small_graphs(max_n=16))
+    def test_trussness_at_least_two(self, g):
+        if g.m:
+            assert (truss_decomposition(g) >= 2).all()
+
+    @given(small_graphs(max_n=14))
+    def test_kmax_matches_networkx(self, g):
+        k_max, _ = max_truss_edges(g)
+        expected = graph_from_networkx_check(g)
+        if g.m:
+            assert k_max == expected
+
+    @given(small_graphs(max_n=14))
+    def test_k_truss_definition(self, g):
+        """Every k-truss edge set has min in-subgraph support >= k - 2."""
+        if g.m == 0:
+            return
+        trussness = truss_decomposition(g)
+        k_max = int(trussness.max())
+        for k in range(3, k_max + 1):
+            edge_ids = np.nonzero(trussness >= k)[0]
+            if len(edge_ids) == 0:
+                continue
+            induced = g.edge_induced_support(edge_ids)
+            assert all(sup >= k - 2 for sup in induced.values())
+
+
+class TestMaxTrussEdges:
+    def test_planted_core(self):
+        g = planted_kmax_truss(10, periphery_n=60, seed=1)
+        k, edges = max_truss_edges(g)
+        assert k == 10
+        assert len(edges) == 45
+
+    def test_empty_graph(self):
+        assert max_truss_edges(Graph.empty(3)) == (0, [])
+
+    def test_edges_sorted(self):
+        _, edges = max_truss_edges(paper_example_graph())
+        assert edges == sorted(edges)
+
+
+class TestKClasses:
+    def test_partition_covers_all_edges(self):
+        g = planted_kmax_truss(8, periphery_n=40, seed=2)
+        classes = k_classes(g)
+        assert sum(len(edges) for edges in classes.values()) == g.m
+
+    def test_k_truss_edges_union_of_classes(self):
+        g = paper_example_graph()
+        assert k_truss_edges(g, 4) == g.edge_pairs()
+        assert k_truss_edges(g, 5) == []
+
+    def test_empty(self):
+        assert k_classes(Graph.empty(2)) == {}
+        assert k_truss_edges(Graph.empty(2), 3) == []
+
+
+class TestResultWrapper:
+    def test_in_memory_result_shape(self):
+        result = in_memory_max_truss(paper_example_graph())
+        assert result.algorithm == "InMemory"
+        assert result.k_max == 4
+        assert result.io.total_ios == 0
+        assert result.peak_memory_bytes > 0

@@ -1,0 +1,85 @@
+"""Tests for keyword search over attributed graphs."""
+
+import pytest
+
+from repro.applications import keyword_search
+from repro.baselines.inmemory import truss_decomposition
+from repro.graph.generators import complete_graph, word_association
+from repro.graph.memgraph import Graph
+
+
+def _two_cliques():
+    """K5 labelled with wine words + K4 labelled with tech words, bridged."""
+    edges = complete_graph(5).edge_pairs()
+    edges += [(u + 5, v + 5) for u, v in complete_graph(4).edge_pairs()]
+    edges += [(4, 5)]
+    graph = Graph.from_edges(edges)
+    labels = {
+        0: {"wine"}, 1: {"grape"}, 2: {"bottle"}, 3: {"cork"}, 4: {"cellar"},
+        5: {"cpu"}, 6: {"ram"}, 7: {"disk"}, 8: {"net"},
+    }
+    return graph, labels
+
+
+class TestBasics:
+    def test_single_keyword_max_truss(self):
+        graph, labels = _two_cliques()
+        result = keyword_search(graph, labels, ["wine"])
+        assert result is not None
+        assert result.k == 5
+        assert 0 in result.vertices
+
+    def test_multi_keyword_same_community(self):
+        graph, labels = _two_cliques()
+        result = keyword_search(graph, labels, ["wine", "cork"])
+        assert result.k == 5
+        assert {0, 3} <= set(result.vertices)
+
+    def test_cross_community_drops_level(self):
+        graph, labels = _two_cliques()
+        result = keyword_search(graph, labels, ["wine", "cpu"])
+        assert result is not None
+        assert result.k == 2  # only the bridge level covers both
+
+    def test_unknown_keyword(self):
+        graph, labels = _two_cliques()
+        assert keyword_search(graph, labels, ["unobtainium"]) is None
+
+    def test_empty_keywords_rejected(self):
+        graph, labels = _two_cliques()
+        with pytest.raises(ValueError):
+            keyword_search(graph, labels, [])
+
+    def test_empty_graph(self):
+        assert keyword_search(Graph.empty(3), {0: {"a"}}, ["a"]) is None
+
+
+class TestGuarantees:
+    def test_answer_is_k_truss_cover(self):
+        graph, labels = _two_cliques()
+        result = keyword_search(graph, labels, ["grape", "cellar"])
+        sub = Graph.from_edges(result.edges)
+        assert int(truss_decomposition(sub).min()) >= result.k
+        covered = set()
+        for vertex in result.vertices:
+            covered |= labels.get(vertex, set())
+        assert {"grape", "cellar"} <= covered
+
+    def test_minimisation_shrinks_answer(self):
+        graph, labels = _two_cliques()
+        full = keyword_search(graph, labels, ["wine"], minimise=False)
+        minimal = keyword_search(graph, labels, ["wine"], minimise=True)
+        assert minimal.size <= full.size
+        assert minimal.k == full.k
+
+    def test_word_network_query(self):
+        graph, words = word_association(
+            num_communities=2, community_size=8, intra_missing=0.1,
+            noise_words=20, seed=5,
+        )
+        labels = {v: {words[v]} for v in range(graph.n)}
+        target = words[0]  # an "alcohol" word
+        result = keyword_search(graph, labels, [target])
+        assert result is not None
+        assert result.k >= 3
+        assert any(words[v] == target for v in result.vertices)

@@ -1,0 +1,96 @@
+"""Hypothesis property tests: maintenance == recomputation, always.
+
+The strongest dynamic guarantee: after ANY sequence of random insertions
+and deletions, both our maintenance (Algorithms 5/6) and the YLJ baseline
+report exactly the from-scratch ``k_max`` and class edge set.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import max_truss_edges
+from repro.dynamic import DynamicMaxTruss, YLJMaintenance
+from repro.graph.memgraph import Graph
+
+
+@st.composite
+def update_scenarios(draw):
+    """A starting graph plus a mixed update stream."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    p = draw(st.floats(min_value=0.1, max_value=0.5))
+    rows, cols = np.triu_indices(n, k=1)
+    keep = rng.random(len(rows)) < p
+    graph = Graph(n, np.stack([rows[keep], cols[keep]], axis=1))
+    steps = draw(st.integers(min_value=1, max_value=18))
+    ops = [
+        (int(rng.integers(0, n)), int(rng.integers(0, n)))
+        for _ in range(steps)
+    ]
+    return graph, ops
+
+
+@given(update_scenarios())
+@settings(max_examples=25)
+def test_maintenance_matches_recompute(scenario):
+    graph, ops = scenario
+    state = DynamicMaxTruss(graph)
+    mutable = graph.to_mutable()
+    for u, v in ops:
+        if u == v:
+            continue
+        if mutable.has_edge(u, v):
+            mutable.delete_edge(u, v)
+            state.delete(u, v)
+        else:
+            mutable.insert_edge(u, v)
+            state.insert(u, v)
+        frozen, _ = mutable.to_graph()
+        expected_k, expected_edges = max_truss_edges(frozen)
+        assert state.k_max == expected_k
+        assert state.truss_pairs() == expected_edges
+
+
+@given(update_scenarios())
+@settings(max_examples=10)
+def test_ylj_matches_recompute(scenario):
+    graph, ops = scenario
+    baseline = YLJMaintenance(graph)
+    mutable = graph.to_mutable()
+    for u, v in ops[:8]:  # YLJ is slow by design; shorter streams
+        if u == v:
+            continue
+        if mutable.has_edge(u, v):
+            mutable.delete_edge(u, v)
+            baseline.delete(u, v)
+        else:
+            mutable.insert_edge(u, v)
+            baseline.insert(u, v)
+        frozen, _ = mutable.to_graph()
+        expected_k, expected_edges = max_truss_edges(frozen)
+        assert baseline.k_max == expected_k
+        assert baseline.truss_pairs() == expected_edges
+
+
+@given(update_scenarios())
+@settings(max_examples=10)
+def test_local_budget_preserves_exactness(scenario):
+    """The two-tier transition (tiny local budget) never changes results."""
+    graph, ops = scenario
+    state = DynamicMaxTruss(graph, local_budget=1)
+    mutable = graph.to_mutable()
+    for u, v in ops[:10]:
+        if u == v:
+            continue
+        if mutable.has_edge(u, v):
+            mutable.delete_edge(u, v)
+            state.delete(u, v)
+        else:
+            mutable.insert_edge(u, v)
+            state.insert(u, v)
+        frozen, _ = mutable.to_graph()
+        expected_k, expected_edges = max_truss_edges(frozen)
+        assert state.k_max == expected_k
+        assert state.truss_pairs() == expected_edges

@@ -1,0 +1,88 @@
+"""Tests for the Wang–Cheng partitioned decomposition baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro._util import WorkBudget
+from repro.baselines import max_truss_edges, truss_decomposition
+from repro.baselines.partitioned import (
+    _partition_bounds,
+    partitioned_truss_decomposition,
+)
+from repro.errors import WorkLimitExceeded
+from repro.graph.generators import complete_graph, paper_example_graph, planted_kmax_truss
+from repro.graph.memgraph import Graph
+
+from conftest import small_graphs
+
+
+class TestPartitionBounds:
+    def test_uniform_split(self):
+        ranges = _partition_bounds(10, 3)
+        assert [list(r) for r in ranges] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_more_partitions_than_vertices(self):
+        ranges = _partition_bounds(2, 8)
+        assert sum(len(r) for r in ranges) == 2
+
+    def test_single_partition(self):
+        assert list(_partition_bounds(5, 1)[0]) == [0, 1, 2, 3, 4]
+
+
+class TestCorrectness:
+    def test_paper_example(self):
+        result = partitioned_truss_decomposition(paper_example_graph(), partitions=3)
+        assert result.k_max == 4
+        assert result.truss_edge_count == 15
+
+    def test_matches_reference(self):
+        g = planted_kmax_truss(7, periphery_n=50, seed=0)
+        result = partitioned_truss_decomposition(g, partitions=4)
+        expected_k, expected_edges = max_truss_edges(g)
+        assert result.k_max == expected_k
+        assert sorted(result.truss_edges) == expected_edges
+        assert np.array_equal(result.extras["trussness"], truss_decomposition(g))
+
+    def test_empty(self):
+        assert partitioned_truss_decomposition(Graph.empty(2)).k_max == 0
+
+    def test_budget(self):
+        with pytest.raises(WorkLimitExceeded):
+            partitioned_truss_decomposition(
+                complete_graph(12), budget=WorkBudget(limit=2)
+            )
+
+    @given(small_graphs(max_n=14))
+    @settings(max_examples=15)
+    def test_random_agreement(self, g):
+        result = partitioned_truss_decomposition(g, partitions=3)
+        expected_k, expected_edges = max_truss_edges(g)
+        assert result.k_max == expected_k
+        assert sorted(result.truss_edges) == expected_edges
+
+
+class TestPartitionDiagnostics:
+    def test_internal_values_are_lower_bounds(self):
+        g = planted_kmax_truss(6, periphery_n=40, seed=1)
+        result = partitioned_truss_decomposition(g, partitions=4)
+        lower = result.extras["partition_lower_bounds"]
+        exact = result.extras["trussness"]
+        assert (lower <= exact).all()
+        assert (lower >= 2).all()
+
+    def test_reports_load_imbalance(self):
+        """The drawback the paper calls out: uniform vertex ranges give
+        unbalanced partition loads on core-dominated graphs."""
+        g = planted_kmax_truss(12, periphery_n=100, seed=2)
+        result = partitioned_truss_decomposition(g, partitions=4)
+        assert result.extras["load_imbalance"] >= 2.0
+        assert len(result.extras["partition_edge_loads"]) == 4
+
+    def test_higher_memory_than_semi_external(self):
+        from repro import semi_lazy_update
+
+        g = planted_kmax_truss(8, periphery_n=80, seed=0)
+        partitioned = partitioned_truss_decomposition(g, partitions=2)
+        lazy = semi_lazy_update(g)
+        assert partitioned.peak_memory_bytes > lazy.peak_memory_bytes

@@ -1,0 +1,82 @@
+"""Tests for the rendering layer."""
+
+import pytest
+
+from repro.core.result import MaintenanceResult, MaxTrussResult
+from repro.reporting import (
+    render_comparison,
+    render_maintenance_log,
+    render_result,
+    render_table,
+)
+from repro.storage import IOStats
+
+
+@pytest.fixture
+def result():
+    return MaxTrussResult(
+        "SemiLazyUpdate", 4, [(0, 1), (1, 2), (0, 2)],
+        IOStats(read_ios=10, write_ios=5), 1024, 0.5,
+    )
+
+
+class TestRenderTable:
+    def test_text_alignment(self):
+        out = render_table(("a", "bee"), [("xx", 1), ("y", 22)], "text")
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert set(lines[1]) == {"-"}
+        assert len(lines) == 4
+
+    def test_markdown_pipes(self):
+        out = render_table(("a", "b"), [(1, 2)], "markdown")
+        lines = out.splitlines()
+        assert lines[0].startswith("| a")
+        assert lines[1].startswith("|-")
+        assert lines[2].startswith("| 1")
+
+    def test_csv_quoting(self):
+        out = render_table(("name",), [("a,b",), ('say "hi"',)], "csv")
+        lines = out.splitlines()
+        assert lines[1] == '"a,b"'
+        assert lines[2] == '"say ""hi"""'
+
+    def test_empty_rows(self):
+        out = render_table(("only", "header"), [], "text")
+        assert "only" in out
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            render_table(("a",), [], "html")
+
+
+class TestResultRendering:
+    def test_render_result_text(self, result):
+        out = render_result(result)
+        assert "k_max" in out
+        assert "4" in out
+        assert "SemiLazyUpdate" in out
+
+    def test_render_result_markdown(self, result):
+        out = render_result(result, "markdown")
+        assert out.startswith("| metric")
+
+    def test_render_comparison(self, result):
+        other = MaxTrussResult("SemiBinary", 4, result.truss_edges,
+                               IOStats(read_ios=100), 2048, 1.0)
+        out = render_comparison([result, other])
+        assert "SemiBinary" in out
+        assert "SemiLazyUpdate" in out
+
+    def test_render_maintenance_log(self):
+        log = [
+            MaintenanceResult("insert", (0, 4), 4, 5, "local",
+                              IOStats(read_ios=2), 0.001),
+            MaintenanceResult("delete", (0, 4), 5, 4, "global",
+                              IOStats(write_ios=3), 0.002),
+        ]
+        out = render_maintenance_log(log, "csv")
+        lines = out.splitlines()
+        assert lines[0].startswith("op,edge")
+        assert "insert" in lines[1]
+        assert "global" in lines[2]

@@ -1,0 +1,64 @@
+"""Tests for truss robustness analysis."""
+
+import pytest
+
+from repro.analysis.robustness import (
+    AttackTrace,
+    edge_deletion_attack,
+    resilience_summary,
+)
+from repro.baselines import max_truss_edges
+from repro.graph.generators import complete_graph, planted_kmax_truss
+from repro.graph.memgraph import Graph
+
+
+class TestAttackTraces:
+    def test_zero_deletions(self):
+        trace = edge_deletion_attack(complete_graph(5), 0)
+        assert trace.k_max_history == [5]
+        assert trace.deleted == []
+        assert trace.deletions_to_first_drop is None
+
+    def test_targeted_drops_kmax_immediately_on_clique(self):
+        trace = edge_deletion_attack(complete_graph(6), 1, "targeted", seed=0)
+        assert trace.k_max_history == [6, 5]
+        assert trace.deletions_to_first_drop == 1
+
+    def test_trace_is_exact_at_every_step(self):
+        g = planted_kmax_truss(5, periphery_n=25, seed=1)
+        trace = edge_deletion_attack(g, 12, "random", seed=2)
+        mutable = g.to_mutable()
+        for index, pair in enumerate(trace.deleted, 1):
+            mutable.delete_edge(*pair)
+            frozen, _ = mutable.to_graph()
+            expected_k, _ = max_truss_edges(frozen)
+            assert trace.k_max_history[index] == expected_k
+
+    def test_runs_out_of_edges_gracefully(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        trace = edge_deletion_attack(g, 10, "targeted", seed=0)
+        assert len(trace.deleted) == 3
+        assert trace.final_k_max == 0
+
+    def test_kmax_monotone_under_deletions(self):
+        g = planted_kmax_truss(6, periphery_n=30, seed=3)
+        trace = edge_deletion_attack(g, 20, "random", seed=5)
+        history = trace.k_max_history
+        assert all(b <= a for a, b in zip(history, history[1:]))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            edge_deletion_attack(complete_graph(4), 2, "nuclear")
+        with pytest.raises(ValueError):
+            edge_deletion_attack(complete_graph(4), -1)
+
+
+class TestResilienceSummary:
+    def test_targeted_at_least_as_damaging(self):
+        g = planted_kmax_truss(7, periphery_n=50, seed=0)
+        summary = resilience_summary(g, budget=15, seed=0)
+        assert summary["targeted_final_kmax"] <= summary["random_final_kmax"]
+        targeted = summary["targeted_first_drop"]
+        random_drop = summary["random_first_drop"]
+        if targeted is not None and random_drop is not None:
+            assert targeted <= random_drop

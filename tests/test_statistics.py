@@ -1,0 +1,73 @@
+"""Tests for dataset statistics (Table I / Fig 8 machinery)."""
+
+from repro.analysis.statistics import (
+    GraphStats,
+    degeneracy_comparison,
+    graph_stats,
+    kmax_distribution,
+)
+from repro.graph.generators import complete_graph, paper_example_graph
+
+
+class TestGraphStats:
+    def test_row_values(self):
+        stats = graph_stats(paper_example_graph(), name="example")
+        assert stats.n == 8
+        assert stats.m == 15
+        assert stats.k_max == 4
+        assert stats.degeneracy == 3
+        assert stats.triangles == 11
+        assert stats.max_degree == 6
+
+    def test_gap(self):
+        stats = graph_stats(complete_graph(5))
+        assert stats.k_max == 5
+        assert stats.degeneracy == 4
+        assert stats.gap == (4 - 5) / 4
+
+    def test_row_rendering(self):
+        stats = graph_stats(paper_example_graph(), name="example")
+        row = stats.row()
+        assert "example" in row
+        assert "15" in row
+
+
+class TestDistribution:
+    def _stats(self, kmax_values):
+        return [
+            GraphStats(f"g{i}", 10, 10, k, k, 0, 3)
+            for i, k in enumerate(kmax_values)
+        ]
+
+    def test_histogram_buckets(self):
+        histogram = kmax_distribution(self._stats([3, 5, 60, 250, 1500]))
+        assert histogram["[0,10)"] == 2
+        assert histogram["[50,100)"] == 1
+        assert histogram["[200,500)"] == 1
+        assert histogram["[1000,inf)"] == 1
+
+    def test_histogram_total(self):
+        values = [1, 9, 10, 49, 50, 199, 200, 999, 5000]
+        histogram = kmax_distribution(self._stats(values))
+        assert sum(histogram.values()) == len(values)
+
+    def test_custom_buckets(self):
+        histogram = kmax_distribution(self._stats([1, 5, 9]), buckets=[5])
+        assert histogram["[0,5)"] == 1
+        assert histogram["[5,inf)"] == 2
+
+
+class TestDegeneracyComparison:
+    def test_fractions(self):
+        stats = [
+            GraphStats("a", 1, 1, 3, 10, 0, 1),   # kmax < cmax
+            GraphStats("b", 1, 1, 11, 10, 0, 1),  # kmax = cmax + 1
+            GraphStats("c", 1, 1, 10, 10, 0, 1),  # equal
+        ]
+        summary = degeneracy_comparison(stats)
+        assert summary["kmax_below_cmax"] == 1 / 3
+        assert summary["kmax_equals_cmax_plus_1"] == 1 / 3
+
+    def test_empty(self):
+        summary = degeneracy_comparison([])
+        assert summary["mean_gap"] == 0.0

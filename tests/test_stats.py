@@ -1,0 +1,107 @@
+"""Tests for IOStats and MemoryMeter."""
+
+import pytest
+
+from repro.storage import IOStats, MemoryMeter
+
+
+class TestIOStats:
+    def test_zero_initialised(self):
+        stats = IOStats()
+        assert stats.read_ios == 0
+        assert stats.write_ios == 0
+        assert stats.total_ios == 0
+
+    def test_total_sums_reads_and_writes(self):
+        stats = IOStats(read_ios=3, write_ios=4)
+        assert stats.total_ios == 7
+
+    def test_reset(self):
+        stats = IOStats(5, 6, 7, 8)
+        stats.reset()
+        assert stats.total_ios == 0
+        assert stats.bytes_read == 0
+        assert stats.bytes_written == 0
+
+    def test_snapshot_is_independent(self):
+        stats = IOStats(read_ios=1)
+        snap = stats.snapshot()
+        stats.read_ios = 10
+        assert snap.read_ios == 1
+
+    def test_since_computes_delta(self):
+        stats = IOStats(read_ios=2, write_ios=1, bytes_read=100, bytes_written=50)
+        snap = stats.snapshot()
+        stats.read_ios += 5
+        stats.bytes_written += 25
+        delta = stats.since(snap)
+        assert delta.read_ios == 5
+        assert delta.write_ios == 0
+        assert delta.bytes_written == 25
+
+    def test_merge_accumulates(self):
+        a = IOStats(1, 2, 3, 4)
+        b = IOStats(10, 20, 30, 40)
+        a.merge(b)
+        assert (a.read_ios, a.write_ios, a.bytes_read, a.bytes_written) == (
+            11, 22, 33, 44,
+        )
+
+
+class TestMemoryMeter:
+    def test_charge_tracks_current_and_peak(self):
+        meter = MemoryMeter()
+        meter.charge("a", 100)
+        meter.charge("b", 50)
+        assert meter.current_bytes == 150
+        assert meter.peak_bytes == 150
+
+    def test_release_lowers_current_not_peak(self):
+        meter = MemoryMeter()
+        meter.charge("a", 100)
+        meter.release("a")
+        assert meter.current_bytes == 0
+        assert meter.peak_bytes == 100
+
+    def test_resize_same_name_replaces(self):
+        meter = MemoryMeter()
+        meter.charge("a", 100)
+        meter.charge("a", 40)
+        assert meter.current_bytes == 40
+        assert meter.peak_bytes == 100
+
+    def test_release_unknown_is_noop(self):
+        meter = MemoryMeter()
+        meter.release("missing")
+        assert meter.current_bytes == 0
+
+    def test_negative_charge_rejected(self):
+        meter = MemoryMeter()
+        with pytest.raises(ValueError):
+            meter.charge("a", -1)
+
+    def test_transient_scope(self):
+        meter = MemoryMeter()
+        with meter.transient("scratch", 64):
+            assert meter.current_bytes == 64
+        assert meter.current_bytes == 0
+        assert meter.peak_bytes == 64
+
+    def test_transient_releases_on_exception(self):
+        meter = MemoryMeter()
+        with pytest.raises(RuntimeError):
+            with meter.transient("scratch", 64):
+                raise RuntimeError("boom")
+        assert meter.current_bytes == 0
+
+    def test_reset(self):
+        meter = MemoryMeter()
+        meter.charge("a", 10)
+        meter.reset()
+        assert meter.current_bytes == 0
+        assert meter.peak_bytes == 0
+
+    def test_peak_mib(self):
+        meter = MemoryMeter()
+        meter.charge("a", 2**20)
+        assert meter.peak_mib == pytest.approx(1.0)

@@ -1,0 +1,105 @@
+"""Tests for sliding-window stream maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import max_truss_edges
+from repro.dynamic import SlidingWindowTruss
+from repro.graph.memgraph import Graph
+
+
+def _window_reference(edges, window):
+    """Exact k_max / truss of the last `window` accepted arrivals.
+
+    Within any window the stream's arrivals are distinct (a duplicate of a
+    live pair is skipped at push time), so the live set is simply the tail.
+    """
+    live = [(min(u, v), max(u, v)) for u, v in edges][-window:]
+    if not live:
+        return 0, []
+    return max_truss_edges(Graph.from_edges(live))
+
+
+class TestWindowSemantics:
+    def test_window_below_capacity(self):
+        stream = SlidingWindowTruss(window=10)
+        stream.push(0, 1)
+        stream.push(1, 2)
+        stream.push(0, 2)
+        assert stream.k_max == 3
+        assert stream.live_edge_count() == 3
+
+    def test_expiration(self):
+        stream = SlidingWindowTruss(window=3)
+        stream.push(0, 1)
+        stream.push(1, 2)
+        stream.push(0, 2)    # triangle alive
+        assert stream.k_max == 3
+        stream.push(5, 6)    # evicts (0, 1): triangle broken
+        assert stream.k_max == 2
+        assert stream.live_edge_count() == 3
+
+    def test_duplicates_skipped(self):
+        stream = SlidingWindowTruss(window=5)
+        stream.push(0, 1)
+        stream.push(1, 0)
+        assert stream.stats.duplicates_skipped == 1
+        assert stream.live_edge_count() == 1
+
+    def test_self_loop_rejected(self):
+        stream = SlidingWindowTruss(window=5)
+        with pytest.raises(ValueError):
+            stream.push(3, 3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SlidingWindowTruss(window=0)
+        with pytest.raises(ValueError):
+            SlidingWindowTruss(window=5, batch_size=0)
+
+    def test_stats_history(self):
+        stream = SlidingWindowTruss(window=4)
+        stream.push_many([(0, 1), (1, 2), (0, 2)])
+        assert stream.k_max == 3  # flushes
+        assert stream.stats.arrivals == 3
+        assert stream.stats.k_max_peak == 3
+        assert stream.stats.k_max_history[-1] == 3
+
+
+@pytest.mark.parametrize("batch_size", [1, 4])
+@pytest.mark.parametrize("window", [5, 12])
+def test_matches_reference_on_random_stream(batch_size, window):
+    rng = np.random.default_rng(8)
+    edges = []
+    stream = SlidingWindowTruss(window=window, batch_size=batch_size)
+    for step in range(40):
+        u, v = int(rng.integers(0, 10)), int(rng.integers(0, 10))
+        if u == v:
+            continue
+        pair = (min(u, v), max(u, v))
+        if pair in stream._live_set:
+            continue
+        edges.append(pair)
+        stream.push(*pair)
+        if step % 7 == 0:
+            expected_k, expected_edges = _window_reference(edges, window)
+            assert stream.k_max == expected_k
+            assert stream.truss_pairs() == expected_edges
+    expected_k, expected_edges = _window_reference(edges, window)
+    assert stream.k_max == expected_k
+    assert stream.truss_pairs() == expected_edges
+
+
+def test_batched_equals_per_event():
+    rng = np.random.default_rng(3)
+    pairs = []
+    for _ in range(30):
+        u, v = int(rng.integers(0, 9)), int(rng.integers(0, 9))
+        if u != v:
+            pairs.append((u, v))
+    per_event = SlidingWindowTruss(window=8, batch_size=1)
+    batched = SlidingWindowTruss(window=8, batch_size=5)
+    per_event.push_many(pairs)
+    batched.push_many(pairs)
+    assert per_event.k_max == batched.k_max
+    assert per_event.truss_pairs() == batched.truss_pairs()

@@ -1,0 +1,94 @@
+"""Tests for the semi-external support scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.graph.disk_graph import DiskGraph
+from repro.graph.generators import complete_graph, cycle_graph, paper_example_graph
+from repro.semiexternal.support import (
+    compute_supports,
+    prefix_positions,
+    support_histogram,
+)
+from repro.semiexternal.triangles import edge_triangle_supports_naive
+from repro.storage import BlockDevice, MemoryMeter
+
+from conftest import small_graphs
+
+
+def _scan(graph):
+    device = BlockDevice(block_size=64, cache_blocks=32)
+    dg = DiskGraph(graph, device, MemoryMeter())
+    return compute_supports(dg), device
+
+
+class TestSupportScan:
+    def test_complete_graph(self):
+        scan, _ = _scan(complete_graph(5))
+        assert list(scan.supports.to_numpy()) == [3] * 10
+        assert scan.triangle_count == 10
+        assert scan.zero_support_edges == 0
+        assert scan.max_support == 3
+
+    def test_triangle_free(self):
+        scan, _ = _scan(cycle_graph(8))
+        assert scan.triangle_count == 0
+        assert scan.zero_support_edges == 8
+        assert scan.max_support == 0
+
+    def test_matches_inmemory(self):
+        g = paper_example_graph()
+        scan, _ = _scan(g)
+        assert np.array_equal(scan.supports.to_numpy(), g.edge_supports())
+
+    def test_matches_naive_enumeration(self):
+        g = paper_example_graph()
+        scan, _ = _scan(g)
+        assert np.array_equal(
+            scan.supports.to_numpy(), edge_triangle_supports_naive(g)
+        )
+
+    def test_charges_io(self):
+        g = complete_graph(20)
+        device = BlockDevice(block_size=64, cache_blocks=4)
+        dg = DiskGraph(g, device, MemoryMeter())
+        device.stats.reset()
+        compute_supports(dg)
+        assert device.stats.read_ios > 0
+
+    def test_marker_memory_released(self):
+        g = complete_graph(6)
+        device = BlockDevice(block_size=64, cache_blocks=32)
+        memory = MemoryMeter()
+        dg = DiskGraph(g, device, memory)
+        before = memory.current_bytes
+        compute_supports(dg)
+        assert memory.current_bytes == before  # marker released
+        assert memory.peak_bytes > before
+
+    @given(small_graphs(max_n=16))
+    def test_matches_inmemory_random(self, g):
+        scan, _ = _scan(g)
+        assert np.array_equal(scan.supports.to_numpy(), g.edge_supports())
+        assert scan.triangle_count == g.triangle_count()
+
+
+class TestHistogramPrefix:
+    def test_histogram_counts(self):
+        scan, _ = _scan(paper_example_graph())
+        hist = support_histogram(scan, scan.max_support)
+        assert int(hist.sum()) == 15
+        supports = scan.supports.to_numpy()
+        for value in range(scan.max_support + 1):
+            assert hist[value] == int((supports == value).sum())
+
+    def test_prefix_positions(self):
+        counts = np.array([2, 0, 3])
+        prefix = prefix_positions(counts)
+        assert list(prefix) == [0, 2, 2, 5]
+
+    def test_histogram_clips_to_upper(self):
+        scan, _ = _scan(complete_graph(6))  # all supports are 4
+        hist = support_histogram(scan, 2)
+        assert hist[2] == 15  # clipped into the top bucket

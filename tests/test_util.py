@@ -1,0 +1,99 @@
+"""Tests for shared helpers and the error hierarchy."""
+
+import pytest
+
+from repro._util import (
+    Stopwatch,
+    WorkBudget,
+    ceil_div,
+    ceil_ratio_plus,
+    is_power_of_two,
+    log2_ceil,
+)
+from repro import errors
+
+
+class TestWorkBudget:
+    def test_unbounded(self):
+        budget = WorkBudget()
+        budget.spend(10**9)
+        assert not budget.exhausted
+
+    def test_limit_enforced(self):
+        budget = WorkBudget(limit=3)
+        budget.spend(3)
+        with pytest.raises(errors.WorkLimitExceeded):
+            budget.spend()
+        assert budget.exhausted
+
+    def test_bad_limit(self):
+        with pytest.raises(ValueError):
+            WorkBudget(limit=0)
+
+    def test_exception_carries_limit(self):
+        with pytest.raises(errors.WorkLimitExceeded) as excinfo:
+            budget = WorkBudget(limit=1)
+            budget.spend(2)
+        assert excinfo.value.limit == 1
+
+
+class TestMathHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(0, 5) == 0
+
+    def test_ceil_div_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_ceil_ratio_plus(self):
+        assert ceil_ratio_plus(7, 2, 2) == 6
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(6)
+
+    def test_log2_ceil(self):
+        assert log2_ceil(1) == 0
+        assert log2_ceil(2) == 1
+        assert log2_ceil(5) == 3
+        with pytest.raises(ValueError):
+            log2_ceil(0)
+
+    def test_stopwatch_monotone(self):
+        watch = Stopwatch()
+        first = watch.elapsed()
+        second = watch.elapsed()
+        assert second >= first >= 0
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "GraphFormatError", "DeviceError", "ArrayBoundsError", "HeapError",
+            "HeapEmptyError", "CapacityError", "NotComputedError",
+            "WorkLimitExceeded", "UnknownDatasetError", "UnknownMethodError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_bounds_error_is_index_error(self):
+        assert issubclass(errors.ArrayBoundsError, IndexError)
+
+    def test_unknown_dataset_is_key_error(self):
+        assert issubclass(errors.UnknownDatasetError, KeyError)
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

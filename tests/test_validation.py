@@ -1,0 +1,84 @@
+"""Tests for the structural validators (and with them, the constructors)."""
+
+import numpy as np
+from hypothesis import given
+
+from repro.graph.generators import (
+    chung_lu,
+    complete_graph,
+    kronecker,
+    paper_example_graph,
+    random_geometric,
+)
+from repro.graph.memgraph import Graph, MutableGraph
+from repro.graph.validation import assert_valid, validate_graph, validate_mutable
+
+from conftest import small_graphs
+
+
+class TestValidGraphs:
+    def test_constructors_produce_valid_graphs(self):
+        for graph in (
+            Graph.empty(0),
+            Graph.empty(5),
+            complete_graph(6),
+            paper_example_graph(),
+            chung_lu(150, 6, seed=0),
+            kronecker(6, 6, seed=0),
+            random_geometric(80, 0.2, seed=0),
+        ):
+            assert validate_graph(graph) == []
+
+    @given(small_graphs(max_n=16))
+    def test_random_graphs_valid(self, g):
+        assert validate_graph(g) == []
+
+    @given(small_graphs(max_n=12))
+    def test_subgraphs_valid(self, g):
+        sub, _n, _e = g.subgraph_by_nodes(range(0, g.n, 2))
+        assert validate_graph(sub) == []
+
+    def test_assert_valid_helper(self):
+        assert_valid(complete_graph(4))
+        assert_valid(complete_graph(4).to_mutable())
+
+
+class TestDetection:
+    def test_detects_broken_offsets(self):
+        graph = complete_graph(3)
+        graph.offsets = graph.offsets.copy()
+        graph.offsets[-1] += 2
+        assert any("offsets" in p for p in validate_graph(graph))
+
+    def test_detects_misaligned_eids(self):
+        graph = complete_graph(3)
+        graph.adj_eids = graph.adj_eids.copy()
+        graph.adj_eids[0] = 2  # wrong id at position (0, 1)
+        assert any("holds edge id" in p for p in validate_graph(graph))
+
+    def test_detects_unsorted_adjacency(self):
+        graph = complete_graph(3)
+        graph.adj = graph.adj.copy()
+        graph.adj[0], graph.adj[1] = graph.adj[1], graph.adj[0]
+        problems = validate_graph(graph)
+        assert problems  # unsorted and/or misaligned
+
+
+class TestMutableValidation:
+    def test_valid_after_updates(self):
+        graph = paper_example_graph().to_mutable()
+        graph.insert_edge(0, 4)
+        graph.delete_edge(1, 2)
+        assert validate_mutable(graph) == []
+
+    def test_detects_asymmetry(self):
+        graph = MutableGraph()
+        graph.insert_edge(0, 1)
+        del graph._adj[1][0]  # corrupt one direction
+        assert any("asymmetric" in p for p in validate_mutable(graph))
+
+    def test_detects_registry_drift(self):
+        graph = MutableGraph()
+        graph.insert_edge(0, 1)
+        graph._edge_endpoints[99] = (5, 6)  # ghost registry entry
+        assert any("registry" in p for p in validate_mutable(graph))
