@@ -1,0 +1,281 @@
+"""Perf-regression harness for the vectorized I/O-accounting fast path.
+
+Times the storage stack's batched accounting against the scalar reference
+path (``ReferenceBlockDevice``) and records wall-clock + I/O numbers for
+the support scan, the three semi-external decompositions and dynamic
+maintenance on fixed seeded graphs. Results land in ``BENCH_PERF.json``
+so regressions show up as diffs.
+
+Sections
+--------
+``support_scan_accounting``
+    **The speedup criterion.** Replays the support scan's exact charged
+    access trace through the storage stack twice: once through the batch
+    fast path (``touch_read_batch`` / ``touch_write_batch``, as
+    ``compute_supports`` issues it) and once through the scalar path a
+    per-slice / per-element caller issues (one ``touch_read`` per
+    adjacency list, one ``touch_write`` per support value — the pre-batch
+    granularity). The two traces must produce *identical* ``IOStats``;
+    the fast path must be >= 3x faster at the default scale.
+``support_scan_e2e``
+    Full ``compute_supports`` vs ``compute_supports_reference`` including
+    the (shared) data movement both paths pay; the honest end-to-end
+    number, reported without a threshold.
+``decomposition`` / ``maintenance``
+    Wall-clock + I/O tracking for the three semi-external algorithms and
+    a batched maintenance churn — regression tracking only.
+
+Run standalone (not collected by the tier-1 suite)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py          # full
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py --smoke  # CI
+
+Exit status is non-zero when the full-scale run misses the speedup
+threshold or any equivalence assertion fails; ``--smoke`` shrinks the
+graphs for CI and skips the threshold (timing below ~100 ms is noise)
+while still exercising every section and writing valid JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import max_truss
+from repro.dynamic import DynamicMaxTruss, apply_batch
+from repro.dynamic.workload import mixed_churn
+from repro.graph.disk_graph import DiskGraph
+from repro.graph.generators import gnm_random
+from repro.semiexternal.support import compute_supports, compute_supports_reference
+from repro.storage import BlockDevice, MemoryMeter, ReferenceBlockDevice
+
+SPEEDUP_THRESHOLD = 3.0
+
+#: Default dataset scale for the support-scan microbenchmark: dense enough
+#: that batches amortise the vectorization overhead (average degree ~600),
+#: large enough that wall-clock differences dwarf timer noise.
+FULL_SCAN_GRAPH = dict(n=1000, m=300_000, seed=3)
+SMOKE_SCAN_GRAPH = dict(n=120, m=2_000, seed=3)
+
+
+# --------------------------------------------------------------------- #
+# support-scan access trace (the microbenchmark workload)
+# --------------------------------------------------------------------- #
+
+
+def _replay_support_trace(graph, device, batched: bool) -> float:
+    """Issue the support scan's charged accesses against *device*.
+
+    The trace is exactly what ``compute_supports`` charges: per vertex
+    ``u``, a read of ``N(u)`` and its edge ids, one read of ``N(v)`` per
+    forward neighbour ``v``, and one support write per forward edge. Only
+    the *accounting* runs — no payload moves — so the timing isolates the
+    storage stack. ``batched=True`` issues the forward reads/writes
+    through the batch entry points; ``batched=False`` issues them one
+    access at a time, the pre-batch caller granularity.
+    """
+    offsets = graph.offsets
+    adj = device.allocate("adj", int(offsets[-1]) * 8)
+    adjeids = device.allocate("adjeids", int(offsets[-1]) * 8)
+    sup = device.allocate("sup", graph.m * 8)
+    start_time = time.perf_counter()
+    for u in range(graph.n):
+        lo, hi = int(offsets[u]), int(offsets[u + 1])
+        if lo == hi:
+            continue
+        device.touch_read(adj, lo * 8, (hi - lo) * 8)
+        device.touch_read(adjeids, lo * 8, (hi - lo) * 8)
+        nbrs = graph.adj[lo:hi]
+        eids = graph.adj_eids[lo:hi]
+        forward = nbrs > u
+        if not forward.any():
+            continue
+        vs = nbrs[forward]
+        starts = offsets[vs]
+        counts = offsets[vs + 1] - starts
+        if batched:
+            device.touch_read_batch(adj, starts * 8, counts * 8)
+            device.touch_write_batch(sup, eids[forward] * 8, 8)
+        else:
+            for slice_start, count in zip(starts.tolist(), counts.tolist()):
+                device.touch_read(adj, slice_start * 8, count * 8)
+            for eid in eids[forward].tolist():
+                device.touch_write(sup, eid * 8, 8)
+    return time.perf_counter() - start_time
+
+
+def bench_support_scan_accounting(graph, reps: int) -> dict:
+    fast_times, ref_times = [], []
+    total_ios = None
+    for _ in range(reps):
+        fast_device = BlockDevice.for_semi_external(graph.n)
+        fast_times.append(_replay_support_trace(graph, fast_device, batched=True))
+        ref_device = ReferenceBlockDevice.for_semi_external(graph.n)
+        ref_times.append(_replay_support_trace(graph, ref_device, batched=False))
+        if fast_device.stats != ref_device.stats:
+            raise AssertionError(
+                "I/O-equivalence violated on the support-scan trace: "
+                f"fast={fast_device.stats} reference={ref_device.stats}"
+            )
+        total_ios = fast_device.stats.total_ios
+    fast_s, ref_s = min(fast_times), min(ref_times)
+    return {
+        "graph": {"n": graph.n, "m": graph.m},
+        "reps": reps,
+        "fast_s": round(fast_s, 4),
+        "ref_s": round(ref_s, 4),
+        "speedup": round(ref_s / fast_s, 2),
+        "total_ios": total_ios,
+    }
+
+
+def bench_support_scan_e2e(graph, reps: int) -> dict:
+    fast_times, ref_times = [], []
+    triangles = total_ios = None
+    for _ in range(reps):
+        fast_device = BlockDevice.for_semi_external(graph.n)
+        fast_dg = DiskGraph(graph, fast_device, MemoryMeter())
+        start = time.perf_counter()
+        fast_scan = compute_supports(fast_dg)
+        fast_times.append(time.perf_counter() - start)
+
+        ref_device = ReferenceBlockDevice.for_semi_external(graph.n)
+        ref_dg = DiskGraph(graph, ref_device, MemoryMeter())
+        start = time.perf_counter()
+        ref_scan = compute_supports_reference(ref_dg)
+        ref_times.append(time.perf_counter() - start)
+
+        if (
+            fast_device.stats != ref_device.stats
+            or fast_device.io_by_extent() != ref_device.io_by_extent()
+            or fast_scan.triangle_count != ref_scan.triangle_count
+        ):
+            raise AssertionError("batched and reference support scans diverged")
+        triangles = fast_scan.triangle_count
+        total_ios = fast_device.stats.total_ios
+    fast_s, ref_s = min(fast_times), min(ref_times)
+    return {
+        "graph": {"n": graph.n, "m": graph.m},
+        "reps": reps,
+        "fast_s": round(fast_s, 4),
+        "ref_s": round(ref_s, 4),
+        "speedup": round(ref_s / fast_s, 2),
+        "triangles": triangles,
+        "total_ios": total_ios,
+    }
+
+
+def bench_decomposition(graph) -> dict:
+    rows = {}
+    for method in ("semi-binary", "semi-greedy-core", "semi-lazy-update"):
+        device = BlockDevice.for_semi_external(graph.n)
+        start = time.perf_counter()
+        result = max_truss(graph, method=method, device=device)
+        elapsed = time.perf_counter() - start
+        rows[method] = {
+            "seconds": round(elapsed, 4),
+            "total_ios": result.io.total_ios,
+            "k_max": result.k_max,
+        }
+    return {"graph": {"n": graph.n, "m": graph.m}, "methods": rows}
+
+
+def bench_maintenance(graph, ops: int) -> dict:
+    churn = mixed_churn(graph, ops, insert_fraction=0.5, seed=11)
+    device = BlockDevice.for_semi_external(graph.n)
+    state = DynamicMaxTruss(graph, device=device)
+    baseline = device.stats.snapshot()
+    start = time.perf_counter()
+    apply_batch(state, churn)
+    elapsed = time.perf_counter() - start
+    return {
+        "graph": {"n": graph.n, "m": graph.m},
+        "ops": len(churn),
+        "seconds": round(elapsed, 4),
+        "total_ios": device.stats.since(baseline).total_ios,
+        "k_max_after": state.k_max,
+    }
+
+
+def run(smoke: bool) -> dict:
+    scan_cfg = SMOKE_SCAN_GRAPH if smoke else FULL_SCAN_GRAPH
+    reps = 1 if smoke else 3
+    scan_graph = gnm_random(**scan_cfg)
+    if not smoke:  # warm up allocator/JIT-ish caches so rep 1 isn't cold
+        warm = gnm_random(n=200, m=10_000, seed=3)
+        _replay_support_trace(warm, BlockDevice.for_semi_external(warm.n), True)
+
+    accounting = bench_support_scan_accounting(scan_graph, reps)
+    accounting["threshold"] = SPEEDUP_THRESHOLD
+    accounting["passed"] = bool(smoke or accounting["speedup"] >= SPEEDUP_THRESHOLD)
+
+    e2e = bench_support_scan_e2e(scan_graph, reps)
+
+    decomp_graph = gnm_random(n=60, m=900, seed=7) if smoke else gnm_random(
+        n=300, m=20_000, seed=7
+    )
+    decomposition = bench_decomposition(decomp_graph)
+
+    maint_graph = gnm_random(n=50, m=300, seed=11) if smoke else gnm_random(
+        n=150, m=2_000, seed=11
+    )
+    maintenance = bench_maintenance(maint_graph, ops=4 if smoke else 16)
+
+    return {
+        "schema": 1,
+        "mode": "smoke" if smoke else "full",
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "benchmarks": {
+            "support_scan_accounting": accounting,
+            "support_scan_e2e": e2e,
+            "decomposition": decomposition,
+            "maintenance": maintenance,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny graphs, one rep, no speedup threshold (CI mode)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent / "BENCH_PERF.json",
+        help="output JSON path (default: repo-root BENCH_PERF.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(args.smoke)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    accounting = report["benchmarks"]["support_scan_accounting"]
+    e2e = report["benchmarks"]["support_scan_e2e"]
+    print(f"wrote {args.out} ({report['mode']} mode)")
+    print(
+        f"support-scan accounting: fast {accounting['fast_s']}s, "
+        f"reference {accounting['ref_s']}s -> {accounting['speedup']}x "
+        f"(threshold {accounting['threshold']}x, "
+        f"{'pass' if accounting['passed'] else 'FAIL'})"
+    )
+    print(
+        f"support-scan end-to-end: fast {e2e['fast_s']}s, "
+        f"reference {e2e['ref_s']}s -> {e2e['speedup']}x"
+    )
+    return 0 if accounting["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

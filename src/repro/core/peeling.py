@@ -78,6 +78,20 @@ class PlainDiskHeap:
         if key > level:
             self.lheap.update_key(eid, key - 1)
 
+    def probe_keys(self, eids: np.ndarray) -> np.ndarray:
+        """Batched aliveness/key probe (``-1`` marks a dead edge)."""
+        return self.lheap.probe_keys(eids)
+
+    def decrement_edges(self, eids: np.ndarray, keys: np.ndarray, level: int) -> None:
+        """Batched decrement reusing the keys from :meth:`probe_keys`,
+        skipping the per-edge re-read of ``key_of``."""
+        for eid, key in zip(
+            np.asarray(eids, dtype=np.int64).tolist(),
+            np.asarray(keys, dtype=np.int64).tolist(),
+        ):
+            if key > level:
+                self.lheap.update_key(eid, key - 1)
+
     def after_kernel(self) -> None:
         """No lazy component — nothing to maintain."""
 
@@ -143,6 +157,29 @@ def delete_edge_kernel(heap, subgraph: DiskGraph, eid: int, level: int) -> int:
     common, index_u, index_v = np.intersect1d(
         nbrs_u, nbrs_v, assume_unique=True, return_indices=True
     )
+    if len(common) == 0:
+        return 0
+    if hasattr(heap, "probe_keys"):
+        # Batched round: all triangle partners of the popped edge are
+        # distinct (f_i = (u, w_i), g_i = (v, w_i) with w_i != u, v), so
+        # probing them together — and decrementing with the probed keys —
+        # is exactly equivalent to the interleaved scalar loop.
+        f_ids = eids_u[index_u]
+        g_ids = eids_v[index_v]
+        f_keys = heap.probe_keys(f_ids)
+        g_keys = heap.probe_keys(g_ids)
+        alive = (f_keys >= 0) & (g_keys >= 0)
+        destroyed = int(np.count_nonzero(alive))
+        if destroyed:
+            positions = np.flatnonzero(alive)
+            pair_eids = np.stack([f_ids[positions], g_ids[positions]], axis=1)
+            pair_keys = np.stack([f_keys[positions], g_keys[positions]], axis=1)
+            above = pair_keys > level
+            if above.any():
+                # Row-major flattening keeps the scalar order: f then g,
+                # triangle by triangle.
+                heap.decrement_edges(pair_eids[above], pair_keys[above], level)
+        return destroyed
     destroyed = 0
     for position in range(len(common)):
         f = int(eids_u[index_u[position]])

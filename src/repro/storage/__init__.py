@@ -5,7 +5,12 @@ SSD while preserving the I/O-count comparisons the experiments make.
 """
 
 from .stats import IOStats, MemoryMeter
-from .device import BlockDevice, DEFAULT_BLOCK_SIZE, DEFAULT_CACHE_BLOCKS
+from .device import (
+    BlockDevice,
+    ReferenceBlockDevice,
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_CACHE_BLOCKS,
+)
 from .disk_array import DiskArray
 from .external_sort import external_sort, external_argsort_by_key, external_sort_by_key
 from .cache_policies import LRUCache, FIFOCache, ClockCache, make_cache
@@ -14,6 +19,7 @@ __all__ = [
     "IOStats",
     "MemoryMeter",
     "BlockDevice",
+    "ReferenceBlockDevice",
     "DiskArray",
     "external_sort",
     "external_argsort_by_key",

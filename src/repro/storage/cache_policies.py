@@ -20,6 +20,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..errors import DeviceError
+
 Key = Tuple[int, int]
 Evicted = Optional[Tuple[Key, bool]]
 
@@ -28,6 +30,10 @@ class LRUCache:
     """Least-recently-used over an ordered dict."""
 
     name = "lru"
+    #: Collapsed re-touches of a run are idempotent here (``move_to_end``
+    #: on the already-most-recent key), so the device may skip computing
+    #: repeat flags entirely.
+    needs_repeats = False
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
@@ -62,7 +68,13 @@ class LRUCache:
         return self._entries.pop(key, None)
 
     def set_dirty(self, key: Key, dirty: bool) -> None:
-        """Update a resident entry's dirty flag without recency change."""
+        """Update a resident entry's dirty flag without recency change.
+
+        A non-resident key is a caller bug: silently inserting it would
+        grow the pool past capacity, bypassing eviction accounting.
+        """
+        if key not in self._entries:
+            raise DeviceError(f"set_dirty on non-resident block {key}")
         self._entries[key] = dirty
 
     def items(self) -> Iterator[Tuple[Key, bool]]:
@@ -70,6 +82,79 @@ class LRUCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # bulk batch hooks (device fast path)
+    # ------------------------------------------------------------------ #
+    #
+    # These apply a run-compressed sequence of block touches in one call,
+    # equivalent — touch for touch — to the scalar lookup/insert/set_dirty
+    # protocol of BlockDevice._touch_block / touch_write, but with the
+    # per-block method dispatch hoisted out. They return charge *counts*
+    # (counters are order-insensitive) plus the dirty eviction victims, so
+    # the device can post the I/O in bulk.
+    #
+    # *repeats* flags runs that collapsed >= 2 scalar touches. For LRU the
+    # extra touches only re-run ``move_to_end`` on the already-most-recent
+    # key, and for FIFO lookups mutate nothing, so both ignore the flag;
+    # CLOCK must honour it (a repeat earns a freshly admitted block its
+    # reference bit).
+
+    def bulk_read(self, extent: int, blocks, repeats) -> Tuple[int, List[Key]]:
+        """Apply read touches; returns ``(miss_count, evicted_dirty_keys)``."""
+        entries = self._entries
+        capacity = self.capacity
+        move = entries.move_to_end
+        pop = entries.popitem
+        size = len(entries)
+        misses = 0
+        evicted_dirty: List[Key] = []
+        for block in blocks:
+            key = (extent, block)
+            if key in entries:
+                move(key)
+            else:
+                misses += 1
+                if size < capacity:
+                    size += 1
+                else:
+                    victim, dirty = pop(last=False)
+                    if dirty:
+                        evicted_dirty.append(victim)
+                entries[key] = False
+        return misses, evicted_dirty
+
+    def bulk_write(self, extent: int, blocks, repeats, covers) -> Tuple[int, List[Key]]:
+        """Apply write touches; returns ``(fault_read_count, evicted_dirty_keys)``.
+
+        ``covers[i]`` says whether run *i*'s first access spans its whole
+        block (no read-modify-write fault). A resident block is marked
+        dirty in place — idempotent when already dirty, and a plain
+        ``__setitem__`` keeps its position, exactly like ``set_dirty``.
+        """
+        entries = self._entries
+        capacity = self.capacity
+        move = entries.move_to_end
+        pop = entries.popitem
+        size = len(entries)
+        faults = 0
+        evicted_dirty: List[Key] = []
+        for block, cover in zip(blocks, covers):
+            key = (extent, block)
+            if key in entries:
+                move(key)
+                entries[key] = True
+            else:
+                if not cover:
+                    faults += 1
+                if size < capacity:
+                    size += 1
+                else:
+                    victim, dirty = pop(last=False)
+                    if dirty:
+                        evicted_dirty.append(victim)
+                entries[key] = True
+        return faults, evicted_dirty
 
 
 class FIFOCache(LRUCache):
@@ -89,11 +174,57 @@ class FIFOCache(LRUCache):
             return self._entries.popitem(last=False)
         return None
 
+    def bulk_read(self, extent: int, blocks, repeats) -> Tuple[int, List[Key]]:
+        entries = self._entries
+        capacity = self.capacity
+        pop = entries.popitem
+        size = len(entries)
+        misses = 0
+        evicted_dirty: List[Key] = []
+        for block in blocks:
+            key = (extent, block)
+            if key not in entries:
+                misses += 1
+                if size < capacity:
+                    size += 1
+                else:
+                    victim, dirty = pop(last=False)
+                    if dirty:
+                        evicted_dirty.append(victim)
+                entries[key] = False
+        return misses, evicted_dirty
+
+    def bulk_write(self, extent: int, blocks, repeats, covers) -> Tuple[int, List[Key]]:
+        entries = self._entries
+        capacity = self.capacity
+        pop = entries.popitem
+        size = len(entries)
+        faults = 0
+        evicted_dirty: List[Key] = []
+        for block, cover in zip(blocks, covers):
+            key = (extent, block)
+            if key in entries:
+                entries[key] = True  # set_dirty keeps the admission position
+            else:
+                if not cover:
+                    faults += 1
+                if size < capacity:
+                    size += 1
+                else:
+                    victim, dirty = pop(last=False)
+                    if dirty:
+                        evicted_dirty.append(victim)
+                entries[key] = True
+        return faults, evicted_dirty
+
 
 class ClockCache:
     """CLOCK (second chance): a circular buffer of frames with ref bits."""
 
     name = "clock"
+    #: A repeat touch earns a freshly admitted block its reference bit, so
+    #: the device must supply per-run repeat flags.
+    needs_repeats = True
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
@@ -165,7 +296,50 @@ class ClockCache:
         return self._dirty.pop(key)
 
     def set_dirty(self, key: Key, dirty: bool) -> None:
+        if key not in self._index:
+            raise DeviceError(f"set_dirty on non-resident block {key}")
         self._dirty[key] = dirty
+
+    def bulk_read(self, extent: int, blocks, repeats) -> Tuple[int, List[Key]]:
+        index = self._index
+        referenced = self._referenced
+        misses = 0
+        evicted_dirty: List[Key] = []
+        for block, repeat in zip(blocks, repeats):
+            key = (extent, block)
+            if key in index:
+                referenced[key] = True
+            else:
+                misses += 1
+                evicted = self.insert(key, False)
+                if evicted is not None and evicted[1]:
+                    evicted_dirty.append(evicted[0])
+                if repeat:
+                    # The collapsed re-touches hit the fresh block and earn
+                    # it the reference bit the admission withheld.
+                    referenced[key] = True
+        return misses, evicted_dirty
+
+    def bulk_write(self, extent: int, blocks, repeats, covers) -> Tuple[int, List[Key]]:
+        index = self._index
+        dirty = self._dirty
+        referenced = self._referenced
+        faults = 0
+        evicted_dirty: List[Key] = []
+        for block, repeat, cover in zip(blocks, repeats, covers):
+            key = (extent, block)
+            if key in index:
+                referenced[key] = True
+                dirty[key] = True
+            else:
+                if not cover:
+                    faults += 1
+                evicted = self.insert(key, True)
+                if evicted is not None and evicted[1]:
+                    evicted_dirty.append(evicted[0])
+                if repeat:
+                    referenced[key] = True
+        return faults, evicted_dirty
 
     def items(self) -> Iterator[Tuple[Key, bool]]:
         return iter([(k, self._dirty[k]) for k in self._index])

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+import numpy as np
+
 from ..errors import DeviceError
 from .cache_policies import make_cache
 from .stats import IOStats
@@ -30,6 +32,11 @@ DEFAULT_BLOCK_SIZE = 4096
 
 #: Default number of cached block frames (= 4 MiB of buffer pool at 4 KiB).
 DEFAULT_CACHE_BLOCKS = 1024
+
+#: Batches at or below this size take the scalar loop: the numpy setup of
+#: the vectorized path costs more than it saves on a handful of accesses.
+#: Purely a latency knob — both sides charge identical I/O.
+_SMALL_BATCH = 8
 
 
 class BlockDevice:
@@ -174,6 +181,33 @@ class BlockDevice:
         self.stats.bytes_written += self.block_size
         self._extent_io.setdefault(self._extent_names.get(extent, "?"), [0, 0])[1] += 1
 
+    def _charge_reads_bulk(self, extent: int, count: int) -> None:
+        """Charge *count* read I/Os against one extent in a single update.
+
+        Counters are order-insensitive, so the batch paths accumulate their
+        charges and post them once instead of per block.
+        """
+        self.stats.read_ios += count
+        self.stats.bytes_read += count * self.block_size
+        self._extent_io.setdefault(
+            self._extent_names.get(extent, "?"), [0, 0]
+        )[0] += count
+
+    def _charge_writes_bulk(self, extent: int, count: int) -> None:
+        self.stats.write_ios += count
+        self.stats.bytes_written += count * self.block_size
+        self._extent_io.setdefault(
+            self._extent_names.get(extent, "?"), [0, 0]
+        )[1] += count
+
+    def _charge_eviction_writes(self, victims) -> None:
+        """Charge one write per evicted dirty block, grouped by extent."""
+        counts: Dict[int, int] = {}
+        for victim_extent, _block in victims:
+            counts[victim_extent] = counts.get(victim_extent, 0) + 1
+        for victim_extent, count in counts.items():
+            self._charge_writes_bulk(victim_extent, count)
+
     def _insert_block(self, key: Tuple[int, int], dirty: bool) -> None:
         """Admit a block to the pool, evicting (and charging) if full."""
         evicted = self._cache.insert(key, dirty)
@@ -213,6 +247,186 @@ class BlockDevice:
                 self._insert_block(key, dirty=True)
             elif not cached:
                 self._cache.set_dirty(key, True)
+
+    # ------------------------------------------------------------------ #
+    # vectorized batch accounting (the fast path)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _normalize_batch(offsets, lengths):
+        """Coerce batch operands: offsets to a 1-d int64 array, lengths to
+        either an aligned array or a plain int.
+
+        A scalar *lengths* broadcasts over *offsets* (the uniform-element
+        case of ``DiskArray.gather``/``scatter``) and is kept scalar so the
+        hot path never materialises a constant array.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.ndim == 0:
+            offsets = offsets.reshape(1)
+        if np.ndim(lengths) == 0:
+            return offsets, int(lengths)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if offsets.shape != lengths.shape:
+            raise DeviceError("batch touch: offsets and lengths length mismatch")
+        return offsets, lengths
+
+    def _batch_runs(self, extent: int, offsets, lengths, need_covers: bool):
+        """Translate many ``(offset, nbytes)`` accesses into run-compressed
+        block touches, vectorized.
+
+        Block ids are computed with numpy, consecutive duplicate blocks are
+        collapsed into *runs* (``np.diff``-style), and for each run we keep
+        whether it had repeats (so recency/reference bits can be refreshed
+        exactly as the scalar path would) and — for writes — whether the
+        run's *first* access covers its whole block (later accesses of a run
+        always find the block resident, so only the first covers flag can
+        matter).
+
+        *lengths* is an aligned array or a plain non-negative int (uniform
+        access size). Returns ``(blocks, has_repeat, covers)`` as python
+        lists (``covers`` is ``None`` unless *need_covers*; ``has_repeat``
+        is ``None`` when the cache policy declares repeats idempotent via
+        ``needs_repeats``), or ``None`` when no non-empty access remains.
+        """
+        if extent not in self._extents:
+            raise DeviceError(f"unknown extent id {extent}")
+        if offsets.size == 0:
+            return None
+        size = self._extents[extent][1]
+        scalar_length = isinstance(lengths, int)
+        ends = offsets + lengths
+        min_length = lengths if scalar_length else int(lengths.min())
+        if int(offsets.min()) < 0 or min_length < 0 or int(ends.max()) > size:
+            raise DeviceError(
+                f"batch access outside extent of {size} bytes"
+            )
+        if min_length == 0:
+            if scalar_length:
+                return None  # every access is empty
+            nonzero = lengths > 0
+            offsets = offsets[nonzero]
+            lengths = lengths[nonzero]
+            ends = ends[nonzero]
+            if offsets.size == 0:
+                return None
+        block_size = self.block_size
+        first = offsets // block_size
+        last = (ends - 1) // block_size
+        spans = last - first + 1
+        if int(spans.max()) == 1:
+            # Common case: every access falls inside a single block.
+            blocks = first
+            acc_offsets, acc_lengths = offsets, lengths
+        else:
+            # Expand each access into its per-block touches, preserving the
+            # scalar path's visit order.
+            total = int(spans.sum())
+            starts = np.cumsum(spans) - spans
+            intra = np.arange(total, dtype=np.int64) - np.repeat(starts, spans)
+            blocks = np.repeat(first, spans) + intra
+            acc_offsets = np.repeat(offsets, spans)
+            acc_lengths = (
+                lengths if scalar_length else np.repeat(lengths, spans)
+            )
+        # Run compression: collapse consecutive duplicate blocks.
+        num_blocks = len(blocks)
+        need_repeats = self._cache.needs_repeats
+        if num_blocks > 1:
+            run_start_mask = np.empty(num_blocks, dtype=bool)
+            run_start_mask[0] = True
+            np.not_equal(blocks[1:], blocks[:-1], out=run_start_mask[1:])
+            run_starts = np.flatnonzero(run_start_mask)
+            run_blocks = blocks[run_starts]
+            if need_repeats:
+                num_runs = len(run_starts)
+                has_repeat = np.empty(num_runs, dtype=bool)
+                if num_runs > 1:
+                    np.greater(run_starts[1:] - run_starts[:-1], 1,
+                               out=has_repeat[:-1])
+                has_repeat[-1] = (num_blocks - int(run_starts[-1])) > 1
+        else:
+            run_starts = np.zeros(1, dtype=np.int64)
+            run_blocks = blocks
+            if need_repeats:
+                has_repeat = np.zeros(1, dtype=bool)
+        covers = None
+        if need_covers:
+            run_offsets = acc_offsets[run_starts]
+            if scalar_length:
+                run_lengths = acc_lengths
+            else:
+                run_lengths = acc_lengths[run_starts]
+            block_starts = run_blocks * block_size
+            covers = (
+                (run_offsets <= block_starts)
+                & (run_offsets + run_lengths >= block_starts + block_size)
+            ).tolist()
+        repeats = has_repeat.tolist() if need_repeats else None
+        return run_blocks.tolist(), repeats, covers
+
+    def touch_read_batch(self, extent: int, offsets, lengths) -> None:
+        """Vectorized :meth:`touch_read` over many accesses at once.
+
+        *offsets* / *lengths* are equal-length integer arrays (a scalar
+        *lengths* broadcasts). Charges **exactly** the I/O the equivalent
+        sequence of scalar :meth:`touch_read` calls would charge, and leaves
+        the cache (residency, recency, reference and dirty bits) in the
+        identical state — see :class:`ReferenceBlockDevice` and the
+        equivalence guard tests.
+        """
+        offsets, lengths = self._normalize_batch(offsets, lengths)
+        if offsets.size <= _SMALL_BATCH:
+            # Tiny batches: the scalar loop *is* the batch path (run
+            # compression cannot beat the numpy setup cost at this size).
+            if isinstance(lengths, int):
+                for offset in offsets.tolist():
+                    self.touch_read(extent, offset, lengths)
+            else:
+                for offset, nbytes in zip(offsets.tolist(), lengths.tolist()):
+                    self.touch_read(extent, offset, nbytes)
+            return
+        runs = self._batch_runs(extent, offsets, lengths, need_covers=False)
+        if runs is None:
+            return
+        blocks, repeats, _ = runs
+        # The cache applies the whole run sequence in one tight loop; a
+        # collapsed run of k >= 2 scalar touches differs from one touch only
+        # by the (idempotent) recency/reference refresh of the later hits,
+        # which the policy's bulk hook restores from the repeat flags.
+        misses, evicted_dirty = self._cache.bulk_read(extent, blocks, repeats)
+        if misses:
+            self._charge_reads_bulk(extent, misses)
+        if evicted_dirty:
+            self._charge_eviction_writes(evicted_dirty)
+
+    def touch_write_batch(self, extent: int, offsets, lengths) -> None:
+        """Vectorized :meth:`touch_write` over many accesses at once.
+
+        Charges identical I/O (including read-modify-write faults for runs
+        whose first access does not cover its whole block) and identical
+        cache state to the scalar loop.
+        """
+        offsets, lengths = self._normalize_batch(offsets, lengths)
+        if offsets.size <= _SMALL_BATCH:
+            if isinstance(lengths, int):
+                for offset in offsets.tolist():
+                    self.touch_write(extent, offset, lengths)
+            else:
+                for offset, nbytes in zip(offsets.tolist(), lengths.tolist()):
+                    self.touch_write(extent, offset, nbytes)
+            return
+        runs = self._batch_runs(extent, offsets, lengths, need_covers=True)
+        if runs is None:
+            return
+        blocks, repeats, covers = runs
+        faults, evicted_dirty = self._cache.bulk_write(
+            extent, blocks, repeats, covers
+        )
+        if faults:
+            self._charge_reads_bulk(extent, faults)
+        if evicted_dirty:
+            self._charge_eviction_writes(evicted_dirty)
 
     def append_write(self, extent: int, offset: int, nbytes: int) -> None:
         """Charge sequential append-style writes (no read-before-write)."""
@@ -255,3 +469,36 @@ class BlockDevice:
             f"BlockDevice(block_size={self.block_size}, cache_blocks={self.cache_blocks}, "
             f"policy={self.policy!r}, extents={len(self._extents)}, cached={len(self._cache)})"
         )
+
+
+class ReferenceBlockDevice(BlockDevice):
+    """The slow reference implementation of the batch accounting contract.
+
+    Batch touches are processed as the literal per-access scalar loop (the
+    pre-vectorization behaviour). The simulator's only contract is block-I/O
+    counts, so :class:`BlockDevice`'s vectorized fast path must charge — and
+    leave the cache in — *exactly* what this device does; the equivalence
+    guard (``tests/test_batch_equivalence.py``) asserts identical
+    :class:`IOStats` and :meth:`io_by_extent` across seeded workloads and
+    full algorithm runs for every cache policy. Use it when auditing a new
+    access pattern or debugging a count mismatch; all benchmarks use the
+    fast path.
+    """
+
+    def touch_read_batch(self, extent: int, offsets, lengths) -> None:
+        offsets, lengths = self._normalize_batch(offsets, lengths)
+        if isinstance(lengths, int):
+            lengths = [lengths] * offsets.size
+        else:
+            lengths = lengths.tolist()
+        for offset, nbytes in zip(offsets.tolist(), lengths):
+            self.touch_read(extent, offset, nbytes)
+
+    def touch_write_batch(self, extent: int, offsets, lengths) -> None:
+        offsets, lengths = self._normalize_batch(offsets, lengths)
+        if isinstance(lengths, int):
+            lengths = [lengths] * offsets.size
+        else:
+            lengths = lengths.tolist()
+        for offset, nbytes in zip(offsets.tolist(), lengths):
+            self.touch_write(extent, offset, nbytes)

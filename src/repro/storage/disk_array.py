@@ -104,7 +104,13 @@ class DiskArray:
         self._data[index] = value
 
     def read_slice(self, start: int, stop: int) -> np.ndarray:
-        """Read ``[start, stop)`` as a fresh numpy array (charged)."""
+        """Read ``[start, stop)`` as a fresh numpy array (charged).
+
+        A contiguous range is a single access run, so the scalar touch it
+        issues is exactly the batch path's n == 1 case (see
+        :meth:`BlockDevice.touch_read_batch`); use :meth:`read_slices` to
+        batch many ranges into one charged call.
+        """
         start, stop = int(start), int(stop)
         self._check_range(start, stop)
         nbytes = (stop - start) * self.itemsize
@@ -135,19 +141,28 @@ class DiskArray:
     # ------------------------------------------------------------------ #
 
     def gather(self, indices: np.ndarray) -> np.ndarray:
-        """Read many scattered elements; each touched block is charged once
-        per access run (indices are visited in the given order)."""
+        """Read many scattered elements via the device's batch path.
+
+        Indices are visited in the given order; a *run* of consecutive
+        accesses landing on the same block is charged as a single block
+        touch (run compression — see ``docs/io_model.md``). Non-adjacent
+        repeats are charged again unless the buffer pool still holds the
+        block, exactly as the equivalent sequence of single-element reads
+        would be.
+        """
         indices = np.asarray(indices, dtype=np.int64)
         if len(indices) == 0:
             return np.empty(0, dtype=self.dtype)
         if indices.min() < 0 or indices.max() >= self.length:
             raise ArrayBoundsError(f"gather indices out of bounds for {self.name!r}")
-        for index in indices:
-            self.device.touch_read(self.extent, int(index) * self.itemsize, self.itemsize)
+        self.device.touch_read_batch(
+            self.extent, indices * self.itemsize, self.itemsize
+        )
         return self._data[indices].copy()
 
     def scatter(self, indices: np.ndarray, values: np.ndarray) -> None:
-        """Write many scattered elements (each block touch charged)."""
+        """Write many scattered elements via the device's batch path
+        (run-compressed, same charges as element-at-a-time writes)."""
         indices = np.asarray(indices, dtype=np.int64)
         values = np.asarray(values, dtype=self.dtype)
         if len(indices) != len(values):
@@ -156,9 +171,52 @@ class DiskArray:
             return
         if indices.min() < 0 or indices.max() >= self.length:
             raise ArrayBoundsError(f"scatter indices out of bounds for {self.name!r}")
-        for index, value in zip(indices, values):
-            self.device.touch_write(self.extent, int(index) * self.itemsize, self.itemsize)
-            self._data[index] = value
+        self.device.touch_write_batch(
+            self.extent, indices * self.itemsize, self.itemsize
+        )
+        self._data[indices] = values
+
+    def read_slices(self, starts: np.ndarray, counts: np.ndarray):
+        """Read many ``[start, start + count)`` runs in one batched access.
+
+        Returns ``(values, bounds)`` where *values* is the concatenation of
+        the requested runs and ``bounds[i]:bounds[i + 1]`` delimits run *i*.
+        Charged exactly like the equivalent sequence of :meth:`read_slice`
+        calls (the batch path preserves access order and run compression).
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if starts.shape != counts.shape:
+            raise ArrayBoundsError("read_slices: starts and counts length mismatch")
+        bounds = np.zeros(len(starts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        if len(starts) == 0:
+            return np.empty(0, dtype=self.dtype), bounds
+        if (
+            counts.min() < 0
+            or starts.min() < 0
+            or int((starts + counts).max()) > self.length
+        ):
+            raise ArrayBoundsError(
+                f"read_slices ranges out of bounds for {self.name!r}"
+            )
+        self.device.touch_read_batch(
+            self.extent, starts * self.itemsize, counts * self.itemsize
+        )
+        total = int(bounds[-1])
+        if total == 0:
+            return np.empty(0, dtype=self.dtype), bounds
+        # Assemble by per-run slice copies: each run is contiguous, and
+        # sequential copies are far cheaper than one huge fancy-index
+        # gather over scattered positions.
+        values = np.empty(total, dtype=self.dtype)
+        data = self._data
+        position = 0
+        for start, count in zip(starts.tolist(), counts.tolist()):
+            stop = position + count
+            values[position:stop] = data[start:start + count]
+            position = stop
+        return values, bounds
 
     def to_numpy(self) -> np.ndarray:
         """Full sequential read of the array contents."""

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
 
+import numpy as np
+
 from ..errors import HeapEmptyError
 from ..storage import BlockDevice, MemoryMeter
 from .dynamic_heap import DynamicHeap
@@ -132,6 +134,40 @@ class LHDH:
             self.lheap.remove(eid)
             self.dheap.push(eid, key - 1)
             self._recharge()
+
+    def probe_keys(self, eids: np.ndarray) -> np.ndarray:
+        """Batched :meth:`key_if_alive`: current key per edge, ``-1`` if dead.
+
+        Dynamic-heap residents are answered from memory; the rest share one
+        batched linear-heap probe (run-compressed disk reads).
+        """
+        eids = np.asarray(eids, dtype=np.int64)
+        out = np.empty(len(eids), dtype=np.int64)
+        on_disk = np.zeros(len(eids), dtype=bool)
+        for position, eid in enumerate(eids.tolist()):
+            if eid in self.dheap:
+                out[position] = self.dheap.key_of(eid)
+            else:
+                on_disk[position] = True
+        if on_disk.any():
+            out[on_disk] = self.lheap.probe_keys(eids[on_disk])
+        return out
+
+    def decrement_edges(self, eids: np.ndarray, keys: np.ndarray, level: int) -> None:
+        """Batched :meth:`decrement_edge` for edges whose keys were just
+        probed (*keys* aligned with *eids*); one memory recharge at the end.
+        """
+        for eid, key in zip(
+            np.asarray(eids, dtype=np.int64).tolist(),
+            np.asarray(keys, dtype=np.int64).tolist(),
+        ):
+            if eid in self.dheap:
+                if self.dheap.key_of(eid) > level:
+                    self.dheap.decrement(eid)
+            elif key > level:
+                self.lheap.remove(eid)
+                self.dheap.push(eid, key - 1)
+        self._recharge()
 
     def after_kernel(self) -> None:
         """Spill + write-back maintenance (Alg 4 lines 14–20)."""

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import DeviceError
 from repro.storage import BlockDevice
 from repro.storage.cache_policies import ClockCache, FIFOCache, LRUCache, make_cache
 
@@ -63,6 +64,20 @@ class TestCommonBehaviour:
         cache.insert((0, 0), False)
         cache.set_dirty((0, 0), True)
         assert cache.lookup((0, 0)) is True
+
+    def test_set_dirty_non_resident_raises(self, policy):
+        """A non-resident key must not be silently admitted past capacity.
+
+        Regression test: ``set_dirty`` used to insert unknown keys,
+        growing the pool beyond ``capacity`` and bypassing eviction
+        accounting.
+        """
+        cache = make_cache(policy, 2)
+        cache.insert((0, 0), False)
+        with pytest.raises(DeviceError):
+            cache.set_dirty((0, 1), True)
+        assert len(cache) == 1
+        assert (0, 1) not in cache
 
     def test_items_and_clear(self, policy):
         cache = make_cache(policy, 4)
