@@ -12,7 +12,6 @@ power-law graphs).
 Tables: benchmarks/results/fig8_distribution.txt.
 """
 
-import pytest
 
 from repro.analysis.statistics import (
     degeneracy_comparison,

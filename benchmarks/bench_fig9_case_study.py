@@ -14,7 +14,6 @@ synthetic word-association stand-in plants exactly that structure
 Table: benchmarks/results/fig9_case_study.txt.
 """
 
-import pytest
 
 from repro.analysis import maximum_clique, maximum_core
 from repro.core.api import max_truss

@@ -49,7 +49,7 @@ import numpy as np
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro import max_truss
+from repro import EngineConfig, ExecutionContext, max_truss
 from repro.dynamic import DynamicMaxTruss, apply_batch
 from repro.dynamic.workload import mixed_churn
 from repro.graph.disk_graph import DiskGraph
@@ -173,31 +173,37 @@ def bench_support_scan_e2e(graph, reps: int) -> dict:
     }
 
 
-def bench_decomposition(graph) -> dict:
+def bench_decomposition(graph, config: EngineConfig) -> dict:
     rows = {}
     for method in ("semi-binary", "semi-greedy-core", "semi-lazy-update"):
-        device = BlockDevice.for_semi_external(graph.n)
+        context = ExecutionContext(config)
         start = time.perf_counter()
-        result = max_truss(graph, method=method, device=device)
+        result = max_truss(graph, method=method, context=context)
         elapsed = time.perf_counter() - start
         rows[method] = {
             "seconds": round(elapsed, 4),
             "total_ios": result.io.total_ios,
             "k_max": result.k_max,
         }
-    return {"graph": {"n": graph.n, "m": graph.m}, "methods": rows}
+    return {
+        "graph": {"n": graph.n, "m": graph.m},
+        "engine_config": config.describe(),
+        "methods": rows,
+    }
 
 
-def bench_maintenance(graph, ops: int) -> dict:
+def bench_maintenance(graph, ops: int, config: EngineConfig) -> dict:
     churn = mixed_churn(graph, ops, insert_fraction=0.5, seed=11)
-    device = BlockDevice.for_semi_external(graph.n)
-    state = DynamicMaxTruss(graph, device=device)
+    context = ExecutionContext(config)
+    state = DynamicMaxTruss(graph, context=context)
+    device = state.device
     baseline = device.stats.snapshot()
     start = time.perf_counter()
     apply_batch(state, churn)
     elapsed = time.perf_counter() - start
     return {
         "graph": {"n": graph.n, "m": graph.m},
+        "engine_config": config.describe(),
         "ops": len(churn),
         "seconds": round(elapsed, 4),
         "total_ios": device.stats.since(baseline).total_ios,
@@ -213,21 +219,25 @@ def run(smoke: bool) -> dict:
         warm = gnm_random(n=200, m=10_000, seed=3)
         _replay_support_trace(warm, BlockDevice.for_semi_external(warm.n), True)
 
+    config = EngineConfig().validate()  # the active recipe, stamped per section
+
     accounting = bench_support_scan_accounting(scan_graph, reps)
     accounting["threshold"] = SPEEDUP_THRESHOLD
     accounting["passed"] = bool(smoke or accounting["speedup"] >= SPEEDUP_THRESHOLD)
+    accounting["engine_config"] = config.describe()
 
     e2e = bench_support_scan_e2e(scan_graph, reps)
+    e2e["engine_config"] = config.describe()
 
     decomp_graph = gnm_random(n=60, m=900, seed=7) if smoke else gnm_random(
         n=300, m=20_000, seed=7
     )
-    decomposition = bench_decomposition(decomp_graph)
+    decomposition = bench_decomposition(decomp_graph, config)
 
     maint_graph = gnm_random(n=50, m=300, seed=11) if smoke else gnm_random(
         n=150, m=2_000, seed=11
     )
-    maintenance = bench_maintenance(maint_graph, ops=4 if smoke else 16)
+    maintenance = bench_maintenance(maint_graph, ops=4 if smoke else 16, config=config)
 
     return {
         "schema": 1,

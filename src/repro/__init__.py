@@ -11,6 +11,7 @@ Public API tour
 
 Packages
 --------
+* :mod:`repro.engine` — engine configs, execution contexts, storage backends
 * :mod:`repro.storage` — simulated block device / disk arrays / external sort
 * :mod:`repro.graph` — graph types, file formats, generators, dataset stand-ins
 * :mod:`repro.semiexternal` — support scans, triangles, core decomposition
@@ -30,6 +31,7 @@ from .core import (
     semi_greedy_core,
     semi_lazy_update,
 )
+from .engine import EngineConfig, ExecutionContext, available_backends
 from .errors import ReproError
 from .graph import Graph, MutableGraph, DiskGraph
 from .storage import BlockDevice, IOStats, MemoryMeter
@@ -44,6 +46,9 @@ __all__ = [
     "BlockDevice",
     "IOStats",
     "MemoryMeter",
+    "EngineConfig",
+    "ExecutionContext",
+    "available_backends",
     "WorkBudget",
     "MaxTrussResult",
     "MaintenanceResult",

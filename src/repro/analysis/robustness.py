@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.context import ContextLike
 from ..graph.memgraph import Graph
 from ..storage import BlockDevice
 from ..dynamic.state import DynamicMaxTruss
@@ -72,6 +73,7 @@ def edge_deletion_attack(
     strategy: str = "random",
     seed: Optional[int] = None,
     device: Optional[BlockDevice] = None,
+    context: Optional[ContextLike] = None,
 ) -> AttackTrace:
     """Delete *deletions* edges and trace the ``k_max`` decay.
 
@@ -87,7 +89,7 @@ def edge_deletion_attack(
     if deletions < 0:
         raise ValueError("deletions must be non-negative")
     rng = np.random.default_rng(seed)
-    state = DynamicMaxTruss(graph, device=device)
+    state = DynamicMaxTruss(graph, device=device, context=context)
     trace = AttackTrace(strategy)
     trace.k_max_history.append(state.k_max)
     trace.class_sizes.append(state.truss_edge_count())

@@ -29,7 +29,21 @@ from ..analysis.components import (
     vertex_connected_components,
 )
 from ..baselines.inmemory import truss_decomposition
+from ..engine.context import ContextLike
 from ..graph.memgraph import Graph
+
+
+def _trussness_values(
+    graph: Graph, method: str, context: Optional[ContextLike]
+) -> np.ndarray:
+    """Per-edge trussness via the requested decomposition route."""
+    if method == "in-memory":
+        return truss_decomposition(graph)
+    if method == "semi-external":
+        from ..baselines.bottom_up import truss_decomposition_semi_external
+
+        return truss_decomposition_semi_external(graph, context=context)
+    raise ValueError(f"unknown trussness method {method!r}")
 
 EdgePair = Tuple[int, int]
 
@@ -75,6 +89,8 @@ def truss_community(
     query: Iterable[int],
     connectivity: str = "vertex",
     trussness: Optional[np.ndarray] = None,
+    method: str = "in-memory",
+    context: Optional[ContextLike] = None,
 ) -> Optional[CommunityResult]:
     """Find the maximum-trussness connected community containing *query*.
 
@@ -89,6 +105,12 @@ def truss_community(
         (the stricter truss-community model).
     trussness:
         Optional precomputed per-edge trussness (else computed here).
+    method:
+        How to compute trussness when not supplied: ``"in-memory"``
+        (default, uncharged) or ``"semi-external"`` (Bottom-Up's charged
+        decomposition on the context's device).
+    context:
+        Engine context charged by the semi-external route.
 
     Returns ``None`` when no common community exists (e.g. queries in
     different components, or a query vertex is isolated).
@@ -104,7 +126,11 @@ def truss_community(
         return None
     if connectivity not in ("vertex", "triangle"):
         raise ValueError(f"unknown connectivity model {connectivity!r}")
-    values = trussness if trussness is not None else truss_decomposition(graph)
+    values = (
+        trussness
+        if trussness is not None
+        else _trussness_values(graph, method, context)
+    )
 
     if connectivity == "vertex":
         return _vertex_community(graph, query, values)

@@ -17,17 +17,19 @@ import numpy as np
 
 from .._util import Stopwatch, WorkBudget
 from ..core.peeling import delete_edge_kernel, make_plain_heap
+from ..engine.context import ContextLike, resolve_context
 from ..core.result import MaxTrussResult
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph
 from ..semiexternal.support import compute_supports
-from ..storage import BlockDevice, DiskArray, MemoryMeter
+from ..storage import BlockDevice, DiskArray
 
 
 def truss_decomposition_semi_external(
     graph: Graph,
     device: Optional[BlockDevice] = None,
     budget: Optional[WorkBudget] = None,
+    context: Optional[ContextLike] = None,
 ) -> np.ndarray:
     """Full per-edge trussness computed under the semi-external model.
 
@@ -35,7 +37,7 @@ def truss_decomposition_semi_external(
     edge's trussness to a disk array; this returns it as a numpy array
     indexed by the graph's edge ids.
     """
-    return bottom_up(graph, device=device, budget=budget).extras.get(
+    return bottom_up(graph, device=device, budget=budget, context=context).extras.get(
         "trussness", np.zeros(graph.m, dtype=np.int64)
     )
 
@@ -44,6 +46,7 @@ def bottom_up(
     graph: Graph,
     device: Optional[BlockDevice] = None,
     budget: Optional[WorkBudget] = None,
+    context: Optional[ContextLike] = None,
 ) -> MaxTrussResult:
     """Full external truss decomposition; returns the top class.
 
@@ -51,9 +54,10 @@ def bottom_up(
     (``extras["trussness"]`` exposes it for tests).
     """
     watch = Stopwatch()
-    if device is None:
-        device = BlockDevice.for_semi_external(graph.n)
-    memory = MemoryMeter()
+    ctx = resolve_context(context, device)
+    device = ctx.device_for(graph.n)
+    memory = ctx.memory
+    budget = ctx.new_budget(budget)
     disk_graph = DiskGraph(graph, device, memory, name="G")
     io_start = device.stats.snapshot()
 

@@ -35,9 +35,10 @@ import numpy as np
 
 from .._util import Stopwatch, WorkBudget
 from ..core.result import MaxTrussResult
+from ..engine.context import ContextLike, resolve_context
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph
-from ..storage import BlockDevice, MemoryMeter
+from ..storage import BlockDevice
 from .inmemory import truss_decomposition
 
 
@@ -53,6 +54,7 @@ def partitioned_truss_decomposition(
     partitions: int = 4,
     device: Optional[BlockDevice] = None,
     budget: Optional[WorkBudget] = None,
+    context: Optional[ContextLike] = None,
 ) -> MaxTrussResult:
     """Wang–Cheng-style partitioned decomposition; returns the top class.
 
@@ -61,9 +63,10 @@ def partitioned_truss_decomposition(
     in-memory lower bounds plus a residual exact pass.
     """
     watch = Stopwatch()
-    if device is None:
-        device = BlockDevice.for_semi_external(graph.n)
-    memory = MemoryMeter()
+    ctx = resolve_context(context, device)
+    device = ctx.device_for(graph.n)
+    memory = ctx.memory
+    budget = ctx.new_budget(budget)
     disk_graph = DiskGraph(graph, device, memory, name="G")
     io_start = device.stats.snapshot()
 

@@ -28,11 +28,12 @@ import numpy as np
 
 from .._util import Stopwatch, WorkBudget
 from ..core.result import MaxTrussResult
+from ..engine.context import ContextLike, resolve_context
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph
 from ..semiexternal.core_decomp import h_index
 from ..semiexternal.support import compute_supports
-from ..storage import BlockDevice, DiskArray, MemoryMeter
+from ..storage import BlockDevice, DiskArray
 from .inmemory import truss_decomposition
 
 
@@ -98,12 +99,14 @@ def top_down(
     device: Optional[BlockDevice] = None,
     budget: Optional[WorkBudget] = None,
     refine_rounds: int = 2,
+    context: Optional[ContextLike] = None,
 ) -> MaxTrussResult:
     """Compute the ``k_max``-truss with the Top-Down baseline."""
     watch = Stopwatch()
-    if device is None:
-        device = BlockDevice.for_semi_external(graph.n)
-    memory = MemoryMeter()
+    ctx = resolve_context(context, device)
+    device = ctx.device_for(graph.n)
+    memory = ctx.memory
+    budget = ctx.new_budget(budget)
     disk_graph = DiskGraph(graph, device, memory, name="G")
     io_start = device.stats.snapshot()
 

@@ -19,10 +19,13 @@ from typing import List, Optional
 from .analysis.statistics import graph_stats
 from .core.api import available_methods, max_truss
 from .dynamic import DynamicMaxTruss
+from .engine import EngineConfig, ExecutionContext, available_backends
 from .errors import ReproError
 from .graph.datasets import dataset_names, load_dataset
 from .graph.edgelist import read_edgelist, write_text_edgelist
 from .graph.memgraph import Graph
+
+_CACHE_POLICIES = ("lru", "fifo", "clock")
 
 
 def _load_graph(source: str, seed: int) -> Graph:
@@ -32,15 +35,50 @@ def _load_graph(source: str, seed: int) -> Graph:
     return read_edgelist(source)
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Storage-engine flags shared by compute / compare / maintain."""
+    group = parser.add_argument_group("storage engine")
+    group.add_argument(
+        "--backend", default="simulated", choices=available_backends(),
+        help="storage backend charged for edge-file I/O",
+    )
+    group.add_argument(
+        "--block-size", type=int, default=EngineConfig().block_size,
+        help="block size B in bytes",
+    )
+    group.add_argument(
+        "--cache-blocks", type=int, default=None,
+        help="cache pool size in blocks (default: semi-external auto-sizing)",
+    )
+    group.add_argument(
+        "--cache-policy", default="lru", choices=_CACHE_POLICIES,
+        help="cache eviction policy",
+    )
+
+
+def _engine_config(args: argparse.Namespace) -> EngineConfig:
+    """Build the run's :class:`EngineConfig` from the parsed flags."""
+    return EngineConfig(
+        backend=args.backend,
+        block_size=args.block_size,
+        cache_blocks=args.cache_blocks,
+        cache_policy=args.cache_policy,
+    ).validate()
+
+
 def _cmd_compute(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.seed)
-    result = max_truss(graph, method=args.method)
+    config = _engine_config(args)
+    context = ExecutionContext(config)
+    result = max_truss(graph, method=args.method, context=context)
     if args.format != "plain":
         from .reporting import render_result
 
         print(render_result(result, args.format))
+        print(f"engine: {config.summary()}")
     else:
         print(f"graph: n={graph.n} m={graph.m}")
+        print(f"engine: {config.summary()}")
         print(f"algorithm: {result.algorithm}")
         print(f"k_max: {result.k_max}")
         print(f"truss edges: {result.truss_edge_count}")
@@ -59,11 +97,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .reporting import render_comparison
 
     graph = _load_graph(args.graph, args.seed)
+    config = _engine_config(args)
+    # One fresh context per method: same recipe, no warm-cache bleed
+    # between competitors.
     results = [
-        max_truss(graph, method=method) for method in args.methods
+        max_truss(graph, method=method, context=ExecutionContext(config))
+        for method in args.methods
     ]
     answers = {result.k_max for result in results}
     print(render_comparison(results, args.format))
+    print(f"engine: {config.summary()}")
     if len(answers) != 1:
         print("WARNING: methods disagree on k_max!", file=sys.stderr)
         return 4
@@ -150,7 +193,9 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
 
 def _cmd_maintain(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.seed)
-    state = DynamicMaxTruss(graph)
+    config = _engine_config(args)
+    state = DynamicMaxTruss(graph, context=ExecutionContext(config))
+    print(f"engine: {config.summary()}")
     print(f"initial k_max: {state.k_max}")
     stream = open(args.updates, "r", encoding="utf-8") if args.updates else sys.stdin
     operations = []
@@ -210,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     compute.add_argument("--show-edges", action="store_true")
     compute.add_argument("--format", default="plain",
                          choices=["plain", "text", "markdown", "csv"])
+    _add_engine_flags(compute)
     compute.set_defaults(func=_cmd_compute)
 
     compare = sub.add_parser("compare", help="run several methods side by side")
@@ -222,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--format", default="text",
                          choices=["text", "markdown", "csv"])
+    _add_engine_flags(compare)
     compare.set_defaults(func=_cmd_compare)
 
     estimate = sub.add_parser(
@@ -253,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="apply the whole stream as one batch (single global recompute)",
     )
     maintain.add_argument("--seed", type=int, default=0)
+    _add_engine_flags(maintain)
     maintain.set_defaults(func=_cmd_maintain)
 
     community = sub.add_parser(

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from .._util import WorkBudget
+from ..engine.context import ContextLike, resolve_context
 from ..errors import UnknownMethodError
 from ..graph.memgraph import Graph
 from ..storage import BlockDevice
@@ -40,6 +41,7 @@ def max_truss(
     method: str = "semi-lazy-update",
     device: Optional[BlockDevice] = None,
     budget: Optional[WorkBudget] = None,
+    context: Optional[ContextLike] = None,
     **kwargs,
 ) -> MaxTrussResult:
     """Compute the ``k_max``-truss of *graph* with the chosen *method*.
@@ -51,7 +53,15 @@ def max_truss(
     method:
         One of :func:`available_methods` — the paper's three semi-external
         algorithms, the two external baselines, or the in-memory reference.
-    device / budget / kwargs:
+    context:
+        :class:`~repro.engine.ExecutionContext` (or bare
+        :class:`~repro.engine.EngineConfig`) selecting the storage backend
+        and aggregating I/O/memory across runs. The ``in-memory`` method
+        charges no I/O regardless of the context's backend.
+    device:
+        Deprecated adapter shim: a caller-built device. Rejected for the
+        ``in-memory`` method, which cannot honour it.
+    budget / kwargs:
         Forwarded to the selected algorithm.
 
     Example
@@ -68,5 +78,13 @@ def max_truss(
             f"unknown method {method!r}; available: {', '.join(sorted(table))}"
         ) from None
     if method == "in-memory":
+        if device is not None:
+            raise ValueError(
+                "method 'in-memory' performs no charged I/O and cannot use "
+                "the given device; drop device= or select "
+                "context=EngineConfig(backend='inmemory')"
+            )
         return implementation(graph, **kwargs)
-    return implementation(graph, device=device, budget=budget, **kwargs)
+    ctx = resolve_context(context, device)
+    with ctx.phase(method):
+        return implementation(graph, budget=budget, context=ctx, **kwargs)

@@ -17,10 +17,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from .._util import Stopwatch, WorkBudget
+from ..engine.context import ContextLike, resolve_context
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph
 from ..semiexternal.support import compute_supports
-from ..storage import BlockDevice, IOStats, MemoryMeter
+from ..storage import BlockDevice, IOStats
 from .peeling import make_lhdh_heap, make_plain_heap
 from .semi_binary import build_sorted_edge_file, materialise_truss
 
@@ -57,6 +58,7 @@ def k_truss_semi_external(
     device: Optional[BlockDevice] = None,
     budget: Optional[WorkBudget] = None,
     lazy: bool = True,
+    context: Optional[ContextLike] = None,
 ) -> KTrussResult:
     """Compute the maximal k-truss edge set under the semi-external model.
 
@@ -76,8 +78,9 @@ def k_truss_semi_external(
     if k < 2:
         raise ValueError("k must be at least 2")
     watch = Stopwatch()
-    if device is None:
-        device = BlockDevice.for_semi_external(graph.n)
+    ctx = resolve_context(context, device)
+    device = ctx.device_for(graph.n)
+    budget = ctx.new_budget(budget)
     io_start = device.stats.snapshot()
     if graph.m == 0:
         return KTrussResult(k, [], device.stats.since(io_start), watch.elapsed())
@@ -85,7 +88,7 @@ def k_truss_semi_external(
         return KTrussResult(
             k, graph.edge_pairs(), device.stats.since(io_start), watch.elapsed()
         )
-    memory = MemoryMeter()
+    memory = ctx.memory
     disk_graph = DiskGraph(graph, device, memory, name="G")
     scan = compute_supports(disk_graph)
     if scan.triangle_count == 0 or scan.max_support < k - 2:

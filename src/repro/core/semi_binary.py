@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from .._util import Stopwatch, WorkBudget
+from ..engine.context import ContextLike, resolve_context
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph
 from ..semiexternal.support import (
@@ -289,25 +290,33 @@ def semi_binary(
     device: Optional[BlockDevice] = None,
     budget: Optional[WorkBudget] = None,
     sort_memory_elems: int = 1 << 16,
+    context: Optional[ContextLike] = None,
 ) -> MaxTrussResult:
     """Compute the ``k_max``-truss of *graph* with SemiBinary (Algorithm 1).
 
     Parameters
     ----------
     graph:
-        The input graph (materialised onto *device* before timing-relevant
-        work, mirroring the paper's excluded preprocessing).
+        The input graph (materialised onto the context's device before
+        timing-relevant work, mirroring the paper's excluded preprocessing).
     device:
-        Simulated disk; a default 4 KiB-block device is created if omitted.
+        Deprecated adapter shim: a caller-built simulated disk. Prefer
+        *context*.
     budget:
-        Optional work cap (the "INF" emulation for benchmarks).
+        Optional work cap (the "INF" emulation for benchmarks); defaults
+        to the context's ``work_limit``.
     sort_memory_elems:
         Memory budget for the external sort building ``T_edge``.
+    context:
+        :class:`~repro.engine.ExecutionContext` (or bare
+        :class:`~repro.engine.EngineConfig`) selecting the storage backend
+        and aggregating I/O and memory across phases.
     """
     watch = Stopwatch()
-    if device is None:
-        device = BlockDevice.for_semi_external(graph.n)
-    memory = MemoryMeter()
+    ctx = resolve_context(context, device)
+    device = ctx.device_for(graph.n)
+    memory = ctx.memory
+    budget = ctx.new_budget(budget)
     disk_graph = DiskGraph(graph, device, memory, name="G")
     io_start = device.stats.snapshot()
 

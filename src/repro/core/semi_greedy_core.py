@@ -23,6 +23,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from .._util import Stopwatch, WorkBudget
+from ..engine.context import ContextLike, resolve_context
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph
 from ..semiexternal.core_decomp import semi_external_core_decomposition
@@ -92,17 +93,20 @@ def greedy_core_flow(
     budget: Optional[WorkBudget] = None,
     capacity: Optional[int] = None,
     sort_memory_elems: int = 1 << 16,
+    context: Optional[ContextLike] = None,
 ) -> MaxTrussResult:
     """The shared Algorithm 2 / Algorithm 3 pipeline.
 
     ``heap_factory`` selects the peel structure: eager ``A_disk``
     (:func:`make_plain_heap`, Algorithm 2) or lazy LHDH
-    (:func:`make_lhdh_heap`, Algorithm 3).
+    (:func:`make_lhdh_heap`, Algorithm 3). Storage comes from *context*
+    (or the deprecated *device* shim).
     """
     watch = Stopwatch()
-    if device is None:
-        device = BlockDevice.for_semi_external(graph.n)
-    memory = MemoryMeter()
+    ctx = resolve_context(context, device)
+    device = ctx.device_for(graph.n)
+    memory = ctx.memory
+    budget = ctx.new_budget(budget)
     disk_graph = DiskGraph(graph, device, memory, name="G")
     io_start = device.stats.snapshot()
 
@@ -206,6 +210,7 @@ def semi_greedy_core(
     device: Optional[BlockDevice] = None,
     budget: Optional[WorkBudget] = None,
     sort_memory_elems: int = 1 << 16,
+    context: Optional[ContextLike] = None,
 ) -> MaxTrussResult:
     """Compute the ``k_max``-truss with SemiGreedyCore (Algorithm 2)."""
     return greedy_core_flow(
@@ -215,4 +220,5 @@ def semi_greedy_core(
         device=device,
         budget=budget,
         sort_memory_elems=sort_memory_elems,
+        context=context,
     )

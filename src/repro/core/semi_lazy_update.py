@@ -16,6 +16,7 @@ from functools import partial
 from typing import Optional
 
 from .._util import WorkBudget
+from ..engine.context import ContextLike
 from ..graph.memgraph import Graph
 from ..storage import BlockDevice
 from .peeling import make_lhdh_heap
@@ -29,6 +30,7 @@ def semi_lazy_update(
     budget: Optional[WorkBudget] = None,
     capacity: Optional[int] = None,
     sort_memory_elems: int = 1 << 16,
+    context: Optional[ContextLike] = None,
 ) -> MaxTrussResult:
     """Compute the ``k_max``-truss with SemiLazyUpdate (Algorithm 3).
 
@@ -50,6 +52,7 @@ def semi_lazy_update(
         budget=budget,
         capacity=capacity,
         sort_memory_elems=sort_memory_elems,
+        context=context,
     )
     result.extras["dheap_capacity"] = capacity
     return result

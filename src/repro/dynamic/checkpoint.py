@@ -23,6 +23,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..engine.context import ContextLike
 from ..errors import GraphFormatError
 from ..graph.memgraph import Graph
 from ..storage import BlockDevice
@@ -84,12 +85,15 @@ def save_checkpoint(state: DynamicMaxTruss, path: PathLike) -> int:
 
 
 def load_checkpoint(
-    path: PathLike, device: Optional[BlockDevice] = None
+    path: PathLike,
+    device: Optional[BlockDevice] = None,
+    context: Optional[ContextLike] = None,
 ) -> DynamicMaxTruss:
     """Restore a :class:`DynamicMaxTruss` from *path*.
 
     The restored state is behaviourally identical to the saved one (same
-    answers, same stable edge ids); the block device starts fresh.
+    answers, same stable edge ids); the storage context starts fresh
+    unless an existing *context* (or deprecated *device*) is supplied.
     """
     with open(path, "rb") as handle:
         payload = handle.read()
@@ -113,7 +117,7 @@ def load_checkpoint(
 
     # Rebuild through the normal constructor on an empty graph, then
     # overwrite the logical state (keeps file/memory charging coherent).
-    state = DynamicMaxTruss(Graph.empty(n), device=device)
+    state = DynamicMaxTruss(Graph.empty(n), device=device, context=context)
     for u, v, eid in edge_rows:
         state.graph._insert_with_eid(int(u), int(v), int(eid))
     state.adj_file.charge_rebuild(

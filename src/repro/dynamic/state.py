@@ -26,11 +26,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..core.peeling import make_lhdh_heap, peel_below
+from ..engine.context import ContextLike, resolve_context
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph, MutableGraph
 from ..semiexternal.core_decomp import core_decomposition_inmemory
 from ..semiexternal.support import compute_supports
-from ..storage import BlockDevice, MemoryMeter
+from ..storage import BlockDevice
 from .adjacency_file import AdjacencyFile
 
 EdgePair = Tuple[int, int]
@@ -44,13 +45,18 @@ class DynamicMaxTruss:
     graph:
         Initial graph. The initial decomposition is not charged to any
         update (the paper likewise excludes preprocessing).
+    context:
+        :class:`~repro.engine.ExecutionContext` (or bare
+        :class:`~repro.engine.EngineConfig`) providing the storage backend
+        shared by the graph file, truss file and any global-phase scratch.
     device:
-        Simulated disk shared by the graph file, truss file and any
-        global-phase scratch.
+        Deprecated adapter shim: a caller-built simulated disk. Prefer
+        *context*.
     local_budget:
         Optional cap on local-cascade work; beyond it the update transitions
-        to the global tier (the paper's two-tiered strategy). ``None`` means
-        the local tier always runs to completion.
+        to the global tier (the paper's two-tiered strategy). ``None``
+        inherits the context's ``work_limit`` (and when that is also
+        ``None``, the local tier always runs to completion).
 
     Example
     -------
@@ -67,11 +73,13 @@ class DynamicMaxTruss:
         graph: Graph,
         device: Optional[BlockDevice] = None,
         local_budget: Optional[int] = None,
+        context: Optional[ContextLike] = None,
     ) -> None:
-        self.device = (
-            device if device is not None else BlockDevice.for_semi_external(graph.n)
-        )
-        self.memory = MemoryMeter()
+        self.context = resolve_context(context, device)
+        self.device = self.context.device_for(graph.n)
+        self.memory = self.context.memory
+        if local_budget is None:
+            local_budget = self.context.config.work_limit
         self.local_budget = local_budget
         self.graph: MutableGraph = graph.to_mutable()
         self.adj_file = AdjacencyFile(

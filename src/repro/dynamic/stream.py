@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Iterable, List, Optional, Tuple
 
+from ..engine.context import ContextLike
 from ..graph.memgraph import Graph
 from ..storage import BlockDevice
 from .state import DynamicMaxTruss
@@ -60,6 +61,7 @@ class SlidingWindowTruss:
         window: int,
         batch_size: int = 1,
         device: Optional[BlockDevice] = None,
+        context: Optional[ContextLike] = None,
     ) -> None:
         if window < 1:
             raise ValueError("window must be at least 1")
@@ -67,7 +69,9 @@ class SlidingWindowTruss:
             raise ValueError("batch_size must be at least 1")
         self.window = window
         self.batch_size = batch_size
-        self.state = DynamicMaxTruss(Graph.empty(0), device=device)
+        self.state = DynamicMaxTruss(
+            Graph.empty(0), device=device, context=context
+        )
         self._live: Deque[EdgePair] = deque()
         self._live_set: set = set()
         self._pending: List[Tuple[str, int, int]] = []

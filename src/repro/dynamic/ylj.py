@@ -29,9 +29,10 @@ import numpy as np
 from .._util import Stopwatch
 from ..baselines.inmemory import truss_decomposition
 from ..core.result import MaintenanceResult
+from ..engine.context import ContextLike, resolve_context
 from ..errors import GraphFormatError
 from ..graph.memgraph import Graph, MutableGraph
-from ..storage import BlockDevice, MemoryMeter
+from ..storage import BlockDevice
 from .adjacency_file import AdjacencyFile
 
 EdgePair = Tuple[int, int]
@@ -40,11 +41,15 @@ EdgePair = Tuple[int, int]
 class YLJMaintenance:
     """All-trussness maintenance baseline (YLJ-Insertion / YLJ-Deletion)."""
 
-    def __init__(self, graph: Graph, device: Optional[BlockDevice] = None) -> None:
-        self.device = (
-            device if device is not None else BlockDevice.for_semi_external(graph.n)
-        )
-        self.memory = MemoryMeter()
+    def __init__(
+        self,
+        graph: Graph,
+        device: Optional[BlockDevice] = None,
+        context: Optional[ContextLike] = None,
+    ) -> None:
+        self.context = resolve_context(context, device)
+        self.device = self.context.device_for(graph.n)
+        self.memory = self.context.memory
         self.graph: MutableGraph = graph.to_mutable()
         self.adj_file = AdjacencyFile(self.device, graph.degrees.tolist(), name="ylj.G")
         # Full trussness state, stable-eid keyed (preprocessing, uncharged).

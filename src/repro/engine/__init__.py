@@ -1,0 +1,51 @@
+"""Engine layer: one execution context + pluggable storage backends.
+
+Centralises what used to be per-function ``device=None`` plumbing:
+
+* :class:`EngineConfig` — the declarative recipe (backend, block size,
+  cache size/policy, batch fast path, work budget, trace hooks);
+* :class:`ExecutionContext` — the live run state (device construction,
+  I/O + memory aggregation, phases);
+* the **backend registry** — ``simulated`` / ``reference`` / ``inmemory``
+  built in, :func:`register_backend` for new ones (e.g. a future
+  mmap-file device).
+
+Typical use::
+
+    from repro import max_truss
+    from repro.engine import EngineConfig, ExecutionContext
+
+    config = EngineConfig(backend="simulated", cache_policy="clock")
+    context = ExecutionContext(config)
+    result = max_truss(graph, method="semi-lazy-update", context=context)
+    print(context.stats, context.memory)
+"""
+
+from .config import EngineConfig, TraceHook
+from .backends import (
+    BackendFactory,
+    available_backends,
+    make_device,
+    register_backend,
+    unregister_backend,
+)
+from .context import (
+    ContextLike,
+    ExecutionContext,
+    ensure_device,
+    resolve_context,
+)
+
+__all__ = [
+    "EngineConfig",
+    "ExecutionContext",
+    "ContextLike",
+    "TraceHook",
+    "BackendFactory",
+    "available_backends",
+    "make_device",
+    "register_backend",
+    "unregister_backend",
+    "resolve_context",
+    "ensure_device",
+]

@@ -1,0 +1,122 @@
+"""Storage-backend registry: names -> block-device factories.
+
+Backends decouple *what an algorithm does* from *what storage it charges*.
+A backend factory receives the :class:`~repro.engine.config.EngineConfig`,
+the vertex count of the graph being materialised (for semi-external pool
+auto-sizing) and a shared :class:`~repro.storage.IOStats`, and returns a
+ready :class:`~repro.storage.BlockDevice`.
+
+Built-ins
+---------
+``simulated``
+    Today's :class:`~repro.storage.BlockDevice` — the block-I/O simulator
+    with the vectorized batch accounting (or the scalar loop when the
+    config disables ``batch_fast_path``).
+``reference``
+    :class:`~repro.storage.ReferenceBlockDevice` — the executable scalar
+    spec of the accounting contract; identical counts, no fast path.
+``inmemory``
+    :class:`~repro.storage.InMemoryBlockDevice` — null charging; for
+    ground-truth answers and CI-speed runs.
+
+Third-party backends register through :func:`register_backend`; anything
+that builds a ``BlockDevice``-compatible object (e.g. a future mmap-file
+device that moves real bytes) slots in without touching the algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import DeviceError
+from ..storage import (
+    BlockDevice,
+    InMemoryBlockDevice,
+    IOStats,
+    ReferenceBlockDevice,
+)
+from .config import EngineConfig
+
+#: ``factory(config, num_vertices, stats) -> BlockDevice``
+BackendFactory = Callable[[EngineConfig, int, Optional[IOStats]], BlockDevice]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(
+    name: str, factory: BackendFactory, replace: bool = False
+) -> None:
+    """Register *factory* under *name* (``replace=True`` to override)."""
+    if not name or not isinstance(name, str):
+        raise DeviceError(f"backend name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not replace:
+        raise DeviceError(
+            f"backend {name!r} is already registered (pass replace=True to override)"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (built-ins included — tests only)."""
+    if name not in _REGISTRY:
+        raise DeviceError(f"unknown storage backend {name!r}")
+    del _REGISTRY[name]
+
+
+def available_backends() -> List[str]:
+    """Sorted names accepted by :class:`EngineConfig.backend`."""
+    return sorted(_REGISTRY)
+
+
+def make_device(
+    config: EngineConfig,
+    num_vertices: int,
+    stats: Optional[IOStats] = None,
+) -> BlockDevice:
+    """Build the device the config's backend describes."""
+    try:
+        factory = _REGISTRY[config.backend]
+    except KeyError:
+        raise DeviceError(
+            f"unknown storage backend {config.backend!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+    config.validate()
+    return factory(config, num_vertices, stats)
+
+
+def _build_simulated(
+    cls, config: EngineConfig, num_vertices: int, stats: Optional[IOStats]
+) -> BlockDevice:
+    if config.cache_blocks is not None:
+        return cls(
+            config.block_size,
+            config.cache_blocks,
+            stats=stats,
+            policy=config.cache_policy,
+        )
+    return cls.for_semi_external(
+        num_vertices,
+        block_size=config.block_size,
+        headroom=config.headroom,
+        stats=stats,
+        policy=config.cache_policy,
+    )
+
+
+def _simulated_backend(config, num_vertices, stats):
+    cls = BlockDevice if config.batch_fast_path else ReferenceBlockDevice
+    return _build_simulated(cls, config, num_vertices, stats)
+
+
+def _reference_backend(config, num_vertices, stats):
+    return _build_simulated(ReferenceBlockDevice, config, num_vertices, stats)
+
+
+def _inmemory_backend(config, num_vertices, stats):
+    return _build_simulated(InMemoryBlockDevice, config, num_vertices, stats)
+
+
+register_backend("simulated", _simulated_backend)
+register_backend("reference", _reference_backend)
+register_backend("inmemory", _inmemory_backend)

@@ -1,0 +1,136 @@
+"""Engine configuration: one declarative recipe for a storage setup.
+
+Before the engine layer existed, every consumer of the semi-external model
+re-plumbed ``device: Optional[BlockDevice] = None`` by hand, so block size,
+cache size, replacement policy and work budgets could not be pinned
+consistently across an experiment. :class:`EngineConfig` centralises those
+knobs; an :class:`~repro.engine.context.ExecutionContext` turns a config
+into live devices/meters and threads them through the algorithms.
+
+A config is a *recipe*, not a run: it is cheap, immutable in spirit, and
+reusable — build one per experiment and derive a fresh context per run
+(warm caches never leak between runs unless a context is shared on
+purpose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import DeviceError
+from ..storage import DEFAULT_BLOCK_SIZE
+
+#: Trace hook signature: ``hook(event_name, payload_dict)``.
+TraceHook = Callable[[str, Dict[str, Any]], None]
+
+_POLICIES = ("lru", "fifo", "clock")
+
+
+@dataclass
+class EngineConfig:
+    """Declarative storage/engine settings shared by every algorithm.
+
+    Parameters
+    ----------
+    backend:
+        Storage backend name from the registry
+        (:func:`repro.engine.backends.available_backends`): ``simulated``
+        (the block-device simulator, default), ``reference`` (the scalar
+        accounting spec), or ``inmemory`` (null charging).
+    block_size:
+        Bytes per block (``B`` in the I/O model).
+    cache_blocks:
+        Buffer-pool frames (``M/B``). ``None`` (default) keeps the
+        semi-external auto-sizing of
+        :meth:`repro.storage.BlockDevice.for_semi_external`, scaled by
+        *headroom* and the vertex count of the first graph the context
+        touches.
+    cache_policy:
+        Block replacement policy: ``lru`` / ``fifo`` / ``clock``.
+    headroom:
+        Multiplier for the auto-sized pool (ignored when *cache_blocks*
+        is explicit).
+    batch_fast_path:
+        Whether the ``simulated`` backend uses the vectorized batch
+        accounting (PR-1 fast path). ``False`` routes batch touches
+        through the scalar reference loop — identical I/O, slower, useful
+        when auditing a new access pattern.
+    work_limit:
+        Optional cap on abstract work units per run; algorithms receive a
+        fresh :class:`~repro._util.WorkBudget` built from it, and
+        :class:`~repro.dynamic.state.DynamicMaxTruss` adopts it as its
+        local-tier budget.
+    trace:
+        Optional hook called as ``trace(event, payload)`` at engine events
+        (device construction, phase boundaries).
+
+    Example
+    -------
+    >>> from repro.engine import EngineConfig
+    >>> config = EngineConfig(backend="inmemory")
+    >>> config.validate().backend
+    'inmemory'
+    """
+
+    backend: str = "simulated"
+    block_size: int = DEFAULT_BLOCK_SIZE
+    cache_blocks: Optional[int] = None
+    cache_policy: str = "lru"
+    headroom: float = 4.0
+    batch_fast_path: bool = True
+    work_limit: Optional[int] = None
+    trace: Optional[TraceHook] = field(default=None, repr=False)
+
+    def validate(self) -> "EngineConfig":
+        """Check field ranges (backend names are checked by the registry).
+
+        Returns ``self`` so construction sites can chain.
+        """
+        if self.block_size <= 0:
+            raise DeviceError(
+                f"block_size must be positive, got {self.block_size}"
+            )
+        if self.cache_blocks is not None and self.cache_blocks <= 0:
+            raise DeviceError(
+                f"cache_blocks must be positive or None, got {self.cache_blocks}"
+            )
+        if self.cache_policy not in _POLICIES:
+            raise DeviceError(
+                f"unknown cache policy {self.cache_policy!r}; "
+                f"known: {', '.join(_POLICIES)}"
+            )
+        if self.headroom <= 0:
+            raise DeviceError(f"headroom must be positive, got {self.headroom}")
+        if self.work_limit is not None and self.work_limit <= 0:
+            raise DeviceError(
+                f"work_limit must be positive or None, got {self.work_limit}"
+            )
+        return self
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-serialisable summary (stamped into benchmark reports)."""
+        return {
+            "backend": self.backend,
+            "block_size": self.block_size,
+            "cache_blocks": self.cache_blocks,
+            "cache_policy": self.cache_policy,
+            "headroom": self.headroom,
+            "batch_fast_path": self.batch_fast_path,
+            "work_limit": self.work_limit,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable form (echoed by the CLI)."""
+        cache = "auto" if self.cache_blocks is None else str(self.cache_blocks)
+        parts = [
+            f"backend={self.backend}",
+            f"block_size={self.block_size}",
+            f"cache_blocks={cache}",
+            f"policy={self.cache_policy}",
+        ]
+        if not self.batch_fast_path:
+            parts.append("fast_path=off")
+        if self.work_limit is not None:
+            parts.append(f"work_limit={self.work_limit}")
+        return " ".join(parts)

@@ -1,0 +1,194 @@
+"""Execution context: the engine object algorithms actually run against.
+
+An :class:`ExecutionContext` owns the live half of an
+:class:`~repro.engine.config.EngineConfig`:
+
+* **device construction** through the backend registry, lazily, sized for
+  the first graph that touches it — and then *shared*: every phase of a
+  run (support scan, sort, probes, peel) and every run threaded through
+  the same context charges the same device;
+* **I/O and memory aggregation** — one :class:`~repro.storage.IOStats`
+  and one :class:`~repro.storage.MemoryMeter` for the context's lifetime,
+  with :meth:`phase` snapshots for per-phase deltas;
+* **work budgets** minted from ``config.work_limit``;
+* **trace hooks** (``config.trace``) fired at device construction and
+  phase boundaries.
+
+Every algorithm entry point accepts ``context=`` (an ``ExecutionContext``
+or a bare ``EngineConfig``); the historical ``device=`` argument still
+works through :func:`resolve_context`'s adapter shim and is deprecated in
+the docs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Tuple, Union
+
+from .._util import WorkBudget
+from ..errors import DeviceError
+from ..storage import BlockDevice, IOStats, MemoryMeter
+from .backends import make_device
+from .config import EngineConfig
+
+#: What algorithm signatures accept for ``context=``.
+ContextLike = Union["ExecutionContext", EngineConfig]
+
+
+class ExecutionContext:
+    """Live engine state: one device, one I/O ledger, one memory meter.
+
+    Parameters
+    ----------
+    config:
+        The recipe; a default :class:`EngineConfig` when omitted.
+    device:
+        Pre-built device to pin (the ``device=`` adapter shim). When
+        given, the backend field of *config* is ignored — the pinned
+        device *is* the backend.
+
+    Example
+    -------
+    >>> from repro.engine import EngineConfig, ExecutionContext
+    >>> context = ExecutionContext(EngineConfig(backend="inmemory"))
+    >>> context.device_for(100).stats is context.stats
+    True
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        device: Optional[BlockDevice] = None,
+    ) -> None:
+        self.config = (config if config is not None else EngineConfig()).validate()
+        self._device: Optional[BlockDevice] = device
+        self.stats: IOStats = device.stats if device is not None else IOStats()
+        self.memory = MemoryMeter()
+        #: ``(phase_name, IOStats delta)`` records appended by :meth:`phase`.
+        self.phase_log: List[Tuple[str, IOStats]] = []
+
+    @classmethod
+    def for_device(cls, device: BlockDevice) -> "ExecutionContext":
+        """Adapter shim wrapping a caller-built device (deprecated path)."""
+        return cls(device=device)
+
+    # ------------------------------------------------------------------ #
+    # device / budget construction
+    # ------------------------------------------------------------------ #
+
+    @property
+    def device(self) -> Optional[BlockDevice]:
+        """The context's device, or ``None`` before first use."""
+        return self._device
+
+    def device_for(self, num_vertices: int) -> BlockDevice:
+        """The shared device, created on first call via the backend registry.
+
+        *num_vertices* only matters on that first call, and only when
+        ``config.cache_blocks`` is ``None`` (semi-external pool
+        auto-sizing); afterwards the same device is returned regardless.
+        """
+        if self._device is None:
+            self._device = make_device(
+                self.config, num_vertices, stats=self.stats
+            )
+            self.emit(
+                "device",
+                backend=self.config.backend,
+                block_size=self._device.block_size,
+                cache_blocks=self._device.cache_blocks,
+                policy=getattr(self._device, "policy", self.config.cache_policy),
+            )
+        return self._device
+
+    def new_budget(self, explicit: Optional[WorkBudget] = None) -> Optional[WorkBudget]:
+        """The work budget for one run: the caller's, else a fresh one
+        minted from ``config.work_limit``, else ``None`` (unbounded)."""
+        if explicit is not None:
+            return explicit
+        if self.config.work_limit is not None:
+            return WorkBudget(self.config.work_limit)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # phases and tracing
+    # ------------------------------------------------------------------ #
+
+    def emit(self, event: str, **payload) -> None:
+        """Fire the config's trace hook (no-op when unset)."""
+        if self.config.trace is not None:
+            self.config.trace(event, payload)
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Scope one named phase: records and traces its I/O delta."""
+        before = self.stats.snapshot()
+        self.emit("phase_start", name=name)
+        try:
+            yield
+        finally:
+            delta = self.stats.since(before)
+            self.phase_log.append((name, delta))
+            self.emit(
+                "phase_end",
+                name=name,
+                read_ios=delta.read_ios,
+                write_ios=delta.write_ios,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "live" if self._device is not None else "idle"
+        return f"ExecutionContext({self.config.summary()}, {state})"
+
+
+def resolve_context(
+    context: Optional[ContextLike] = None,
+    device: Optional[BlockDevice] = None,
+) -> ExecutionContext:
+    """Normalise an algorithm's ``(context=, device=)`` pair to a context.
+
+    * neither given — a fresh default context (exactly the historical
+      per-call ``BlockDevice.for_semi_external`` behaviour);
+    * ``device`` only — the adapter shim pinning that device (the
+      deprecated pre-engine idiom, kept for back-compat);
+    * ``context`` only — the context itself, or a fresh context wrapping a
+      bare :class:`EngineConfig`;
+    * both — an error: the pinned device would silently override the
+      context's backend.
+    """
+    if context is not None and device is not None:
+        raise DeviceError(
+            "pass either context= or the deprecated device=, not both"
+        )
+    if context is None:
+        if device is not None:
+            return ExecutionContext.for_device(device)
+        return ExecutionContext()
+    if isinstance(context, EngineConfig):
+        return ExecutionContext(context)
+    if isinstance(context, ExecutionContext):
+        return context
+    raise DeviceError(
+        f"context must be an ExecutionContext or EngineConfig, got {type(context).__name__}"
+    )
+
+
+def ensure_device(
+    device: Union[BlockDevice, ContextLike, None],
+    num_vertices: int = 0,
+) -> Optional[BlockDevice]:
+    """Unwrap a device-or-context operand to a plain device.
+
+    Lets device-first constructors (heaps, :class:`~repro.graph.DiskGraph`)
+    accept an :class:`ExecutionContext` / :class:`EngineConfig` where they
+    historically took a :class:`~repro.storage.BlockDevice`. ``None``
+    passes through for call sites with their own defaulting.
+    """
+    if device is None or isinstance(device, BlockDevice):
+        return device
+    if isinstance(device, (ExecutionContext, EngineConfig)):
+        return resolve_context(device).device_for(num_vertices)
+    raise DeviceError(
+        f"expected a BlockDevice, ExecutionContext or EngineConfig, "
+        f"got {type(device).__name__}"
+    )

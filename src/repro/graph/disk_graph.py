@@ -22,6 +22,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine.context import ensure_device
 from ..storage import BlockDevice, DiskArray, MemoryMeter
 from .memgraph import Graph
 
@@ -30,7 +31,9 @@ class DiskGraph:
     """An immutable graph whose adjacency lives on a simulated disk.
 
     Build one with :meth:`from_graph`. The in-memory footprint is the node
-    table only — ``O(n)`` — as the semi-external model allows.
+    table only — ``O(n)`` — as the semi-external model allows. *device*
+    also accepts an :class:`~repro.engine.ExecutionContext` or
+    :class:`~repro.engine.EngineConfig` (unwrapped to its device).
     """
 
     def __init__(
@@ -40,6 +43,7 @@ class DiskGraph:
         memory: Optional[MemoryMeter] = None,
         name: str = "G",
     ) -> None:
+        device = ensure_device(device, graph.n)
         self.device = device if device is not None else BlockDevice()
         self.memory = memory if memory is not None else MemoryMeter()
         self.name = name

@@ -19,9 +19,10 @@ from typing import Optional
 import numpy as np
 
 from .._util import ceil_div
+from ..engine.context import ContextLike, resolve_context
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph
-from ..storage import BlockDevice, MemoryMeter
+from ..storage import BlockDevice
 
 
 @dataclass
@@ -62,6 +63,7 @@ def estimate_triangles(
     samples: int = 2000,
     seed: Optional[int] = None,
     device: Optional[BlockDevice] = None,
+    context: Optional[ContextLike] = None,
 ) -> TriangleEstimate:
     """Estimate ``Δ_G`` by uniform wedge sampling (charged I/O).
 
@@ -70,9 +72,9 @@ def estimate_triangles(
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
-    if device is None:
-        device = BlockDevice.for_semi_external(graph.n)
-    disk_graph = DiskGraph(graph, device, MemoryMeter(), name="est.G")
+    ctx = resolve_context(context, device)
+    device = ctx.device_for(graph.n)
+    disk_graph = DiskGraph(graph, device, ctx.memory, name="est.G")
     degrees = graph.degrees.astype(np.int64)
     wedge_counts = degrees * (degrees - 1) // 2
     total_wedges = int(wedge_counts.sum())
@@ -104,6 +106,7 @@ def estimate_max_support(
     samples: int = 500,
     seed: Optional[int] = None,
     device: Optional[BlockDevice] = None,
+    context: Optional[ContextLike] = None,
 ) -> int:
     """A sampled *lower* bound on ``max_e sup(e)`` (charged I/O).
 
@@ -116,9 +119,9 @@ def estimate_max_support(
         raise ValueError("samples must be positive")
     if graph.m == 0:
         return 0
-    if device is None:
-        device = BlockDevice.for_semi_external(graph.n)
-    disk_graph = DiskGraph(graph, device, MemoryMeter(), name="est.G")
+    ctx = resolve_context(context, device)
+    device = ctx.device_for(graph.n)
+    disk_graph = DiskGraph(graph, device, ctx.memory, name="est.G")
     rng = np.random.default_rng(seed)
     degrees = graph.degrees.astype(np.float64)
     edge_weights = degrees[graph.edges[:, 0]] + degrees[graph.edges[:, 1]]

@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.degeneracy import degeneracy_ordering
+from ..engine.context import ContextLike, resolve_context
 from ..graph.memgraph import Graph
 from ..storage import BlockDevice, DiskArray, MemoryMeter
 from .support import SupportScan
@@ -68,18 +69,20 @@ def compute_supports_oriented(
     device: Optional[BlockDevice] = None,
     memory: Optional[MemoryMeter] = None,
     name: str = "osup",
+    context: Optional[ContextLike] = None,
 ) -> SupportScan:
     """Per-edge supports via degeneracy-oriented triangle enumeration.
 
     Returns the same :class:`SupportScan` contract as
     :func:`repro.semiexternal.support.compute_supports`; the supports
-    array lives on *device* (one is created if omitted). Uses an O(m)
-    in-memory accumulator (see module docstring) — charged to *memory*.
+    array lives on the context's device (the deprecated *device* shim is
+    still accepted). Uses an O(m) in-memory accumulator (see module
+    docstring) — charged to *memory* (default: the context's meter).
     """
-    if device is None:
-        device = BlockDevice.for_semi_external(graph.n)
+    ctx = resolve_context(context, device)
+    device = ctx.device_for(graph.n)
     if memory is None:
-        memory = MemoryMeter()
+        memory = ctx.memory
     supports_file = DiskArray(device, graph.m, np.int64, name=name, fill=0)
     if graph.m == 0:
         return SupportScan(supports_file, 0, 0, 0)

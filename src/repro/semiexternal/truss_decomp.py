@@ -25,9 +25,10 @@ from typing import Optional
 import numpy as np
 
 from .._util import WorkBudget
+from ..engine.context import ContextLike, resolve_context
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph
-from ..storage import BlockDevice, DiskArray, MemoryMeter
+from ..storage import BlockDevice, DiskArray
 from .core_decomp import h_index
 from .support import compute_supports
 
@@ -89,24 +90,26 @@ def h_index_truss_decomposition(
     device: Optional[BlockDevice] = None,
     budget: Optional[WorkBudget] = None,
     max_rounds: Optional[int] = None,
+    context: Optional[ContextLike] = None,
 ) -> HIndexDecomposition:
     """Exact trussness of every edge via h-index convergence.
 
     Parameters
     ----------
     graph:
-        Input graph (materialised onto *device*).
+        Input graph (materialised onto the context's device).
     device:
-        Simulated disk; a semi-external-sized one is created if omitted.
+        Deprecated shim: a caller-built simulated disk. Prefer *context*.
     budget:
         Optional work cap (one unit per edge visit per round).
     max_rounds:
         Optional early stop for bound-only use (Top-Down uses 2 rounds);
         the returned values are then still sound *upper bounds* on τ.
     """
-    if device is None:
-        device = BlockDevice.for_semi_external(graph.n)
-    memory = MemoryMeter()
+    ctx = resolve_context(context, device)
+    device = ctx.device_for(graph.n)
+    memory = ctx.memory
+    budget = ctx.new_budget(budget)
     disk_graph = DiskGraph(graph, device, memory, name="G")
     if graph.m == 0:
         return HIndexDecomposition(np.zeros(0, dtype=np.int64), 0, 0)

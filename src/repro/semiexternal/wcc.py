@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.context import ContextLike, resolve_context
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph
 from ..storage import BlockDevice, MemoryMeter
@@ -51,15 +52,17 @@ def semi_external_components(
     graph: Graph,
     device: Optional[BlockDevice] = None,
     memory: Optional[MemoryMeter] = None,
+    context: Optional[ContextLike] = None,
 ) -> ComponentResult:
     """Connected components with ``O(n)`` memory and sequential edge scans.
 
-    Isolated vertices keep their own label. Charged against *device*.
+    Isolated vertices keep their own label. Charged against the context's
+    device (or the deprecated *device* shim).
     """
-    if device is None:
-        device = BlockDevice.for_semi_external(graph.n)
+    ctx = resolve_context(context, device)
+    device = ctx.device_for(graph.n)
     if memory is None:
-        memory = MemoryMeter()
+        memory = ctx.memory
     disk_graph = DiskGraph(graph, device, memory, name="wcc.G")
     labels = np.arange(graph.n, dtype=np.int64)
     memory.charge("wcc.labels", labels.nbytes)
@@ -89,6 +92,7 @@ def semi_external_components(
 def split_edges_semi_external(
     graph: Graph,
     device: Optional[BlockDevice] = None,
+    context: Optional[ContextLike] = None,
 ) -> List[List[EdgePair]]:
     """Partition the edge set by component (largest first), charged I/O.
 
@@ -96,7 +100,7 @@ def split_edges_semi_external(
     :func:`repro.analysis.components.vertex_connected_components` —
     cross-checked against it in tests.
     """
-    result = semi_external_components(graph, device=device)
+    result = semi_external_components(graph, device=device, context=context)
     buckets: Dict[int, List[EdgePair]] = {}
     for u, v in graph.edge_pairs():
         buckets.setdefault(result.component_of(u), []).append((u, v))

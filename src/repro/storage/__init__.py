@@ -7,6 +7,7 @@ SSD while preserving the I/O-count comparisons the experiments make.
 from .stats import IOStats, MemoryMeter
 from .device import (
     BlockDevice,
+    InMemoryBlockDevice,
     ReferenceBlockDevice,
     DEFAULT_BLOCK_SIZE,
     DEFAULT_CACHE_BLOCKS,
@@ -19,6 +20,7 @@ __all__ = [
     "IOStats",
     "MemoryMeter",
     "BlockDevice",
+    "InMemoryBlockDevice",
     "ReferenceBlockDevice",
     "DiskArray",
     "external_sort",

@@ -92,6 +92,7 @@ class BlockDevice:
         block_size: int = DEFAULT_BLOCK_SIZE,
         headroom: float = 4.0,
         stats: IOStats = None,
+        policy: str = "lru",
     ) -> "BlockDevice":
         """A device whose buffer pool respects the semi-external model.
 
@@ -103,7 +104,10 @@ class BlockDevice:
         (minimum 64 KiB), i.e. a few node-arrays' worth of pages.
         """
         cache_bytes = max(64 * 1024, int(headroom * 8 * max(num_vertices, 1)))
-        return cls(block_size, max(8, cache_bytes // block_size), stats=stats)
+        return cls(
+            block_size, max(8, cache_bytes // block_size), stats=stats,
+            policy=policy,
+        )
 
     # ------------------------------------------------------------------ #
     # extent management
@@ -469,6 +473,49 @@ class BlockDevice:
             f"BlockDevice(block_size={self.block_size}, cache_blocks={self.cache_blocks}, "
             f"policy={self.policy!r}, extents={len(self._extents)}, cached={len(self._cache)})"
         )
+
+
+class InMemoryBlockDevice(BlockDevice):
+    """A null-charging device: every touch is free, counters stay at zero.
+
+    Extent bookkeeping (allocate / grow / free / bounds) is kept so data
+    structures behave identically, but no block ever becomes resident and
+    no I/O is charged — the storage-model analogue of running the whole
+    computation in memory. This backs the engine's ``inmemory`` backend,
+    used for ground-truth answers and CI-speed runs where the I/O bill is
+    irrelevant.
+
+    >>> dev = InMemoryBlockDevice(block_size=64, cache_blocks=2)
+    >>> eid = dev.allocate("support", 100 * 8)
+    >>> dev.touch_read(eid, 0, 8)
+    >>> dev.stats.read_ios
+    0
+    """
+
+    def _check_extent(self, extent: int) -> None:
+        if extent not in self._extents:
+            raise DeviceError(f"unknown extent id {extent}")
+
+    def touch_read(self, extent: int, offset: int, nbytes: int) -> None:
+        self._check_extent(extent)
+
+    def touch_write(self, extent: int, offset: int, nbytes: int) -> None:
+        self._check_extent(extent)
+
+    def touch_read_batch(self, extent: int, offsets, lengths) -> None:
+        self._check_extent(extent)
+
+    def touch_write_batch(self, extent: int, offsets, lengths) -> None:
+        self._check_extent(extent)
+
+    def append_write(self, extent: int, offset: int, nbytes: int) -> None:
+        self._check_extent(extent)
+
+    def flush(self) -> None:
+        pass
+
+    def drop_cache(self) -> None:
+        pass
 
 
 class ReferenceBlockDevice(BlockDevice):

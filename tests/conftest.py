@@ -8,7 +8,7 @@ from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
 
 from repro.graph.memgraph import Graph
-from repro.storage import BlockDevice, IOStats, MemoryMeter
+from repro.storage import BlockDevice, MemoryMeter
 
 # Library-wide hypothesis profile: deterministic-ish, no flaky deadlines.
 settings.register_profile(

@@ -70,7 +70,7 @@ class TestBasics:
 
     def test_trivial_class_tracks_batch(self):
         state = DynamicMaxTruss(Graph.from_edges([(0, 1)]))
-        result = apply_batch(state, [("insert", 1, 2), ("insert", 2, 3)])
+        apply_batch(state, [("insert", 1, 2), ("insert", 2, 3)])
         assert state.k_max == 2
         assert state.truss_edge_count() == 3
 

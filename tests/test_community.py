@@ -1,13 +1,11 @@
 """Tests for truss-based community search."""
 
-import numpy as np
 import pytest
 
 from repro.applications import max_truss_communities, truss_community
 from repro.baselines.inmemory import truss_decomposition
 from repro.graph.generators import (
     complete_graph,
-    cycle_graph,
     paper_example_graph,
     planted_kmax_truss,
 )

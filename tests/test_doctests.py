@@ -8,6 +8,8 @@ import repro
 import repro.core.api
 import repro.core.k_truss
 import repro.dynamic.state
+import repro.engine.config
+import repro.engine.context
 import repro.storage.device
 
 MODULES = [
@@ -15,6 +17,8 @@ MODULES = [
     repro.core.api,
     repro.core.k_truss,
     repro.dynamic.state,
+    repro.engine.config,
+    repro.engine.context,
     repro.storage.device,
 ]
 

@@ -80,7 +80,7 @@ class TestGlobalFallback:
     def test_drop_to_triangle_free(self):
         g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
         state = DynamicMaxTruss(g)
-        result = state.delete(0, 1)
+        state.delete(0, 1)
         assert state.k_max == 2
         assert state.truss_edge_count() == 2
 

@@ -85,7 +85,7 @@ class TestGrowthFallback:
     def test_first_triangle_bootstraps(self):
         state = DynamicMaxTruss(Graph.from_edges([(0, 1), (1, 2)]))
         assert state.k_max == 2
-        result = state.insert(0, 2)
+        state.insert(0, 2)
         assert state.k_max == 3
         assert state.truss_edge_count() == 3
 
@@ -97,7 +97,7 @@ class TestGrowthFallback:
 
     def test_triangle_free_growth(self):
         state = DynamicMaxTruss(cycle_graph(6))
-        result = state.insert(0, 3)  # chord, still triangle-free
+        state.insert(0, 3)  # chord, still triangle-free
         assert state.k_max == 2
         assert state.truss_edge_count() == 7
 

@@ -1,0 +1,317 @@
+"""Engine layer round-trip suite (ISSUE PR-2 acceptance).
+
+Three families of guarantees:
+
+* **Answer round-trip** — every registered backend runs all six
+  ``max_truss`` methods and insert/delete maintenance and agrees on
+  ``k_max`` and the truss edge set.
+* **Bit-identity** — the ``simulated`` backend driven through an
+  :class:`ExecutionContext` reproduces the exact pre-refactor ``IOStats``
+  and per-extent breakdown of the historical ``device=`` path on the
+  seeded graphs of ``tests/test_batch_equivalence.py``.
+* **Engine mechanics** — backend registry errors, the ``device=`` adapter
+  shim, work budgets minted from the config, phase aggregation across a
+  shared context, and trace hooks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EngineConfig, ExecutionContext, available_backends, max_truss
+from repro.core.api import available_methods
+from repro.dynamic import DynamicMaxTruss
+from repro.engine import (
+    ensure_device,
+    make_device,
+    register_backend,
+    resolve_context,
+    unregister_backend,
+)
+from repro.errors import DeviceError, WorkLimitExceeded
+from repro.graph.disk_graph import DiskGraph
+from repro.graph.generators import barabasi_albert, gnm_random, paper_example_graph
+from repro.semiexternal.support import compute_supports
+from repro.storage import (
+    BlockDevice,
+    InMemoryBlockDevice,
+    MemoryMeter,
+    ReferenceBlockDevice,
+)
+from repro.structures.linear_heap import LinearHeap
+
+BACKENDS = ("simulated", "reference", "inmemory")
+POLICIES = ("lru", "fifo", "clock")
+SEMI_METHODS = ("semi-binary", "semi-greedy-core", "semi-lazy-update")
+
+
+@pytest.fixture(scope="module")
+def example():
+    return paper_example_graph()
+
+
+@pytest.fixture(scope="module")
+def truth(example):
+    return max_truss(example, method="in-memory")
+
+
+# --------------------------------------------------------------------- #
+# answer round-trip: every backend x every method + maintenance
+# --------------------------------------------------------------------- #
+
+
+class TestBackendRoundTrip:
+    def test_registry_lists_the_builtins(self):
+        assert set(BACKENDS) <= set(available_backends())
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("method", sorted(available_methods()))
+    def test_every_method_on_every_backend(self, example, truth, backend, method):
+        context = ExecutionContext(EngineConfig(backend=backend))
+        result = max_truss(example, method=method, context=context)
+        assert result.k_max == truth.k_max
+        assert sorted(result.truss_edges) == sorted(truth.truss_edges)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_maintenance_on_every_backend(self, example, backend):
+        reference = DynamicMaxTruss(example)
+        state = DynamicMaxTruss(
+            example, context=ExecutionContext(EngineConfig(backend=backend))
+        )
+        u, v = example.edge_pairs()[0]
+        present = set(map(tuple, example.edge_pairs()))
+        extra = next(
+            (a, b)
+            for a in range(example.n)
+            for b in range(a + 1, example.n)
+            if (a, b) not in present
+        )
+        for target in (reference, state):
+            target.insert(*extra)
+            target.delete(u, v)
+        assert state.k_max == reference.k_max
+        assert state.truss_pairs() == reference.truss_pairs()
+
+    def test_inmemory_backend_charges_nothing(self, example):
+        context = ExecutionContext(EngineConfig(backend="inmemory"))
+        result = max_truss(example, method="semi-lazy-update", context=context)
+        assert result.k_max > 0
+        assert context.stats.read_ios == 0
+        assert context.stats.write_ios == 0
+        assert result.io.total_ios == 0
+
+    def test_reference_backend_matches_simulated_counts(self):
+        graph = gnm_random(60, 700, seed=5)
+        bills = {}
+        for backend in ("simulated", "reference"):
+            context = ExecutionContext(
+                EngineConfig(backend=backend, block_size=64, cache_blocks=16)
+            )
+            result = max_truss(graph, method="semi-binary", context=context)
+            bills[backend] = (result.io.read_ios, result.io.write_ios)
+        assert bills["simulated"] == bills["reference"]
+
+    def test_batch_fast_path_off_routes_to_reference_device(self):
+        config = EngineConfig(batch_fast_path=False)
+        device = ExecutionContext(config).device_for(50)
+        assert isinstance(device, ReferenceBlockDevice)
+
+    def test_inmemory_backend_builds_inmemory_device(self):
+        device = ExecutionContext(EngineConfig(backend="inmemory")).device_for(50)
+        assert isinstance(device, InMemoryBlockDevice)
+
+
+# --------------------------------------------------------------------- #
+# bit-identity vs the pre-refactor device= path (seeded graphs)
+# --------------------------------------------------------------------- #
+
+
+class TestSimulatedBitIdentity:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("method", SEMI_METHODS)
+    def test_decomposition_io_identical_to_device_path(self, method, policy):
+        graph = barabasi_albert(120, attach=5, seed=7)
+        device = BlockDevice(block_size=64, cache_blocks=32, policy=policy)
+        legacy = max_truss(graph, method=method, device=device)
+        context = ExecutionContext(EngineConfig(
+            block_size=64, cache_blocks=32, cache_policy=policy
+        ))
+        engine = max_truss(graph, method=method, context=context)
+        assert engine.k_max == legacy.k_max
+        assert engine.io.read_ios == legacy.io.read_ios
+        assert engine.io.write_ios == legacy.io.write_ios
+        assert context.device.io_by_extent() == device.io_by_extent()
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_support_scan_io_identical_to_device_path(self, policy):
+        graph = gnm_random(60, 700, seed=5)
+        device = BlockDevice(block_size=64, cache_blocks=16, policy=policy)
+        legacy = compute_supports(DiskGraph(graph, device, MemoryMeter()))
+        context = ExecutionContext(EngineConfig(
+            block_size=64, cache_blocks=16, cache_policy=policy
+        ))
+        engine = compute_supports(
+            DiskGraph(graph, context.device_for(graph.n), context.memory)
+        )
+        assert engine.triangle_count == legacy.triangle_count
+        assert context.stats.read_ios == device.stats.read_ios
+        assert context.stats.write_ios == device.stats.write_ios
+        assert context.device.io_by_extent() == device.io_by_extent()
+
+    def test_default_call_unchanged_by_the_refactor(self):
+        graph = barabasi_albert(120, attach=5, seed=7)
+        bare = max_truss(graph, method="semi-lazy-update")
+        pinned = max_truss(
+            graph,
+            method="semi-lazy-update",
+            device=BlockDevice.for_semi_external(graph.n),
+        )
+        assert bare.io.read_ios == pinned.io.read_ios
+        assert bare.io.write_ios == pinned.io.write_ios
+        assert bare.peak_memory_bytes == pinned.peak_memory_bytes
+
+
+# --------------------------------------------------------------------- #
+# registry mechanics
+# --------------------------------------------------------------------- #
+
+
+class TestRegistry:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(DeviceError, match="unknown storage backend"):
+            make_device(EngineConfig(backend="holographic"), 10)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(DeviceError, match="already registered"):
+            register_backend("simulated", lambda *a: None)
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(DeviceError, match="unknown storage backend"):
+            unregister_backend("holographic")
+
+    def test_custom_backend_slots_in(self, example, truth):
+        def tiny_pool(config, num_vertices, stats):
+            return BlockDevice(
+                config.block_size, 8, stats=stats, policy=config.cache_policy
+            )
+
+        register_backend("tiny", tiny_pool)
+        try:
+            assert "tiny" in available_backends()
+            context = ExecutionContext(EngineConfig(backend="tiny", block_size=64))
+            result = max_truss(example, method="semi-binary", context=context)
+            assert result.k_max == truth.k_max
+            assert context.device.cache_blocks == 8
+        finally:
+            unregister_backend("tiny")
+        assert "tiny" not in available_backends()
+
+
+# --------------------------------------------------------------------- #
+# context resolution, shims and budgets
+# --------------------------------------------------------------------- #
+
+
+class TestContextMechanics:
+    def test_device_and_context_together_rejected(self, example):
+        with pytest.raises(DeviceError, match="not both"):
+            max_truss(
+                example,
+                device=BlockDevice(),
+                context=ExecutionContext(),
+            )
+
+    def test_in_memory_method_rejects_device(self, example):
+        with pytest.raises(ValueError, match="in-memory"):
+            max_truss(example, method="in-memory", device=BlockDevice())
+
+    def test_in_memory_method_accepts_context(self, example, truth):
+        context = ExecutionContext(EngineConfig(backend="inmemory"))
+        result = max_truss(example, method="in-memory", context=context)
+        assert result.k_max == truth.k_max
+
+    def test_bare_config_accepted_as_context(self, example, truth):
+        result = max_truss(
+            example, method="semi-binary", context=EngineConfig(block_size=256)
+        )
+        assert result.k_max == truth.k_max
+
+    def test_resolve_rejects_foreign_objects(self):
+        with pytest.raises(DeviceError, match="ExecutionContext or EngineConfig"):
+            resolve_context(context="simulated")
+
+    def test_device_shim_pins_the_callers_device(self, example):
+        device = BlockDevice(block_size=64, cache_blocks=16)
+        context = resolve_context(device=device)
+        assert context.device is device
+        assert context.stats is device.stats
+        max_truss(example, method="semi-binary", device=device)
+        assert device.stats.total_ios > 0
+
+    def test_work_limit_minted_from_config(self, example):
+        config = EngineConfig(work_limit=3)
+        busy = gnm_random(60, 700, seed=5)
+        with pytest.raises(WorkLimitExceeded):
+            max_truss(busy, method="semi-binary", context=ExecutionContext(config))
+        # maintenance adopts it as the local-tier budget
+        state = DynamicMaxTruss(example, context=ExecutionContext(config))
+        assert state.local_budget == 3
+
+    def test_shared_context_aggregates_phases(self, example):
+        context = ExecutionContext(EngineConfig(block_size=64))
+        max_truss(example, method="semi-binary", context=context)
+        after_first = context.stats.total_ios
+        max_truss(example, method="semi-greedy-core", context=context)
+        assert context.stats.total_ios > after_first
+        assert [name for name, _ in context.phase_log] == [
+            "semi-binary", "semi-greedy-core",
+        ]
+        total_phase_ios = sum(
+            delta.read_ios + delta.write_ios for _, delta in context.phase_log
+        )
+        assert total_phase_ios == context.stats.total_ios
+
+    def test_trace_hook_sees_device_and_phases(self, example):
+        events = []
+        config = EngineConfig(trace=lambda event, payload: events.append(event))
+        max_truss(example, method="semi-binary", context=ExecutionContext(config))
+        assert events[0] == "phase_start"
+        assert "device" in events
+        assert events[-1] == "phase_end"
+
+    def test_config_validation_errors(self):
+        for broken in (
+            EngineConfig(block_size=0),
+            EngineConfig(cache_blocks=-1),
+            EngineConfig(cache_policy="mru"),
+            EngineConfig(headroom=0),
+            EngineConfig(work_limit=0),
+        ):
+            with pytest.raises(DeviceError):
+                broken.validate()
+
+
+# --------------------------------------------------------------------- #
+# ensure_device: contexts accepted where devices used to be required
+# --------------------------------------------------------------------- #
+
+
+class TestEnsureDevice:
+    def test_disk_graph_accepts_a_context(self, example):
+        context = ExecutionContext(EngineConfig(block_size=64, cache_blocks=16))
+        disk_graph = DiskGraph(example, context)
+        assert disk_graph.device is context.device
+        context.device.flush()  # write-back cache: dirty blocks drain here
+        assert context.stats.write_ios > 0  # materialisation was charged
+
+    def test_linear_heap_accepts_a_config(self):
+        heap = LinearHeap(EngineConfig(backend="inmemory"), 16, 4)
+        heap.insert(0, 2)
+        assert heap.pop_min() == (0, 2)
+
+    def test_ensure_device_passthrough_and_rejection(self):
+        device = BlockDevice()
+        assert ensure_device(device) is device
+        assert ensure_device(None) is None
+        with pytest.raises(DeviceError):
+            ensure_device(42)

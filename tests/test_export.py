@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.analysis.hierarchy import TrussHierarchy
 from repro.applications import truss_community

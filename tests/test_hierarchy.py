@@ -6,7 +6,7 @@ from hypothesis import given, settings
 
 from repro.analysis.hierarchy import TrussHierarchy
 from repro.baselines import k_truss_edges, truss_decomposition
-from repro.graph.generators import complete_graph, paper_example_graph, planted_kmax_truss
+from repro.graph.generators import complete_graph, planted_kmax_truss
 from repro.graph.memgraph import Graph
 
 from conftest import small_graphs

@@ -6,7 +6,6 @@ trips a named invariant rather than an incidental assertion.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro import max_truss, semi_lazy_update

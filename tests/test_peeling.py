@@ -1,6 +1,5 @@
 """Tests for the shared peeling kernels."""
 
-import numpy as np
 import pytest
 
 from repro._util import WorkBudget

@@ -14,7 +14,7 @@ from repro.core.semi_binary import (
     verified_kmax,
 )
 from repro.graph.disk_graph import DiskGraph
-from repro.graph.generators import complete_graph, paper_example_graph, planted_kmax_truss
+from repro.graph.generators import planted_kmax_truss
 from repro.semiexternal.support import compute_supports
 from repro.storage import BlockDevice, IOStats, MemoryMeter
 

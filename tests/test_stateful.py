@@ -5,14 +5,13 @@ interleaved operation sequences and compare every observable against a
 trivially-correct model — the strongest structural guarantee in the suite.
 """
 
-import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
 
 from repro.graph.memgraph import Graph
 from repro.storage import BlockDevice, MemoryMeter
-from repro.structures import LHDH, DynamicHeap, LinearHeap
+from repro.structures import LHDH, LinearHeap
 
 MAX_EDGES = 24
 MAX_KEY = 12

@@ -1,7 +1,6 @@
 """Tests for the semi-external support scan."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 
 from repro.graph.disk_graph import DiskGraph

@@ -1,6 +1,5 @@
 """Tests for the structural validators (and with them, the constructors)."""
 
-import numpy as np
 from hypothesis import given
 
 from repro.graph.generators import (

@@ -1,6 +1,5 @@
 """Tests for semi-external connected components."""
 
-import numpy as np
 from hypothesis import given, settings
 
 from repro.analysis.components import vertex_connected_components

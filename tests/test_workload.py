@@ -13,7 +13,7 @@ from repro.dynamic.workload import (
     random_insertions,
     validate_stream,
 )
-from repro.graph.generators import complete_graph, gnp_random, planted_kmax_truss
+from repro.graph.generators import gnp_random, planted_kmax_truss
 
 
 @pytest.fixture
