@@ -24,6 +24,14 @@ Sections
 ``decomposition`` / ``maintenance``
     Wall-clock + I/O tracking for the three semi-external algorithms and
     a batched maintenance churn — regression tracking only.
+``file_backend``
+    The persistence layer's price tag: the same support-scan trace
+    replayed through ``FileBlockDevice`` (real ``pread``/``pwrite`` per
+    charged block) vs the simulator. The charged ``IOStats`` must be
+    identical — that equivalence is asserted, not just reported — and the
+    section records the wall-clock overhead factor plus the physical
+    bytes moved, so a change that silently inflates the real-I/O cost of
+    the file backend shows up as a diff.
 
 Run standalone (not collected by the tier-1 suite)::
 
@@ -54,6 +62,7 @@ from repro.dynamic import DynamicMaxTruss, apply_batch
 from repro.dynamic.workload import mixed_churn
 from repro.graph.disk_graph import DiskGraph
 from repro.graph.generators import gnm_random
+from repro.persistence import FileBlockDevice
 from repro.semiexternal.support import compute_supports, compute_supports_reference
 from repro.storage import BlockDevice, MemoryMeter, ReferenceBlockDevice
 
@@ -173,6 +182,59 @@ def bench_support_scan_e2e(graph, reps: int) -> dict:
     }
 
 
+def bench_file_backend(graph, reps: int) -> dict:
+    """Replay the support-scan trace on the file backend vs the simulator.
+
+    Both devices run the *batched* trace so the comparison isolates the
+    cost of mirroring each charged block I/O as a real syscall. The
+    charged bill must match exactly (the tentpole accounting-equivalence
+    contract); the interesting outputs are the wall-clock overhead factor
+    and the physical byte counters.
+    """
+    sim_times, file_times = [], []
+    total_ios = physical_row = None
+    for _ in range(reps):
+        sim_device = BlockDevice.for_semi_external(graph.n)
+        sim_times.append(_replay_support_trace(graph, sim_device, batched=True))
+        sim_device.flush()
+        file_device = FileBlockDevice.for_semi_external(
+            graph.n, fsync_policy="never"
+        )
+        try:
+            file_times.append(
+                _replay_support_trace(graph, file_device, batched=True)
+            )
+            file_device.flush()
+            if (
+                file_device.stats != sim_device.stats
+                or file_device.io_by_extent() != sim_device.io_by_extent()
+            ):
+                raise AssertionError(
+                    "file backend charged a different bill than the "
+                    f"simulator: file={file_device.stats} "
+                    f"simulated={sim_device.stats}"
+                )
+            total_ios = file_device.stats.total_ios
+            physical = file_device.stats.physical
+            physical_row = {
+                "bytes_read": physical.bytes_read,
+                "bytes_written": physical.bytes_written,
+                "fsyncs": physical.fsyncs,
+            }
+        finally:
+            file_device.close()
+    sim_s, file_s = min(sim_times), min(file_times)
+    return {
+        "graph": {"n": graph.n, "m": graph.m},
+        "reps": reps,
+        "simulated_s": round(sim_s, 4),
+        "file_s": round(file_s, 4),
+        "overhead_x": round(file_s / sim_s, 2) if sim_s > 0 else None,
+        "total_ios": total_ios,
+        "physical": physical_row,
+    }
+
+
 def bench_decomposition(graph, config: EngineConfig) -> dict:
     rows = {}
     for method in ("semi-binary", "semi-greedy-core", "semi-lazy-update"):
@@ -229,6 +291,8 @@ def run(smoke: bool) -> dict:
     e2e = bench_support_scan_e2e(scan_graph, reps)
     e2e["engine_config"] = config.describe()
 
+    file_backend = bench_file_backend(scan_graph, reps)
+
     decomp_graph = gnm_random(n=60, m=900, seed=7) if smoke else gnm_random(
         n=300, m=20_000, seed=7
     )
@@ -249,6 +313,7 @@ def run(smoke: bool) -> dict:
         "benchmarks": {
             "support_scan_accounting": accounting,
             "support_scan_e2e": e2e,
+            "file_backend": file_backend,
             "decomposition": decomposition,
             "maintenance": maintenance,
         },
@@ -283,6 +348,14 @@ def main(argv=None) -> int:
     print(
         f"support-scan end-to-end: fast {e2e['fast_s']}s, "
         f"reference {e2e['ref_s']}s -> {e2e['speedup']}x"
+    )
+    file_backend = report["benchmarks"]["file_backend"]
+    physical = file_backend["physical"]
+    print(
+        f"file backend: simulated {file_backend['simulated_s']}s, "
+        f"file {file_backend['file_s']}s -> {file_backend['overhead_x']}x "
+        f"overhead ({physical['bytes_read']} B read, "
+        f"{physical['bytes_written']} B written)"
     )
     return 0 if accounting["passed"] else 1
 

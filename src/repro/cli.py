@@ -6,8 +6,14 @@ Subcommands
   ``k_max``, the truss size, and the I/O / memory bill.
 * ``stats`` — Table-I style statistics for a file or named dataset.
 * ``generate`` — write a stand-in dataset (or generator output) to a file.
+* ``convert`` — re-encode a graph between formats (text/metis/compressed/
+  the binary ``.rgr`` CSR image — the paper's offline preprocessing step).
 * ``maintain`` — apply an update stream (``+u v`` / ``-u v`` lines) to a
   graph, reporting per-op maintenance cost.
+
+Graph operands accept dataset names, edge-list files, and ``.rgr`` images
+everywhere; ``--backend file`` runs any engine command against the real
+file-backed device (identical charged I/O, plus physical byte counters).
 """
 
 from __future__ import annotations
@@ -19,19 +25,23 @@ from typing import List, Optional
 from .analysis.statistics import graph_stats
 from .core.api import available_methods, max_truss
 from .dynamic import DynamicMaxTruss
-from .engine import EngineConfig, ExecutionContext, available_backends
+from .engine import EngineConfig, ExecutionContext, list_backends
 from .errors import ReproError
 from .graph.datasets import dataset_names, load_dataset
 from .graph.edgelist import read_edgelist, write_text_edgelist
+from .graph.formats import is_rgr, read_rgr
 from .graph.memgraph import Graph
 
 _CACHE_POLICIES = ("lru", "fifo", "clock")
+_FSYNC_POLICIES = ("never", "close", "always")
 
 
 def _load_graph(source: str, seed: int) -> Graph:
     """Interpret *source* as a dataset name or a file path."""
     if source in dataset_names():
         return load_dataset(source, seed=seed)
+    if is_rgr(source):
+        return read_rgr(source)
     return read_edgelist(source)
 
 
@@ -39,8 +49,9 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     """Storage-engine flags shared by compute / compare / maintain."""
     group = parser.add_argument_group("storage engine")
     group.add_argument(
-        "--backend", default="simulated", choices=available_backends(),
-        help="storage backend charged for edge-file I/O",
+        "--backend", default="simulated", choices=list_backends(),
+        help="storage backend charged for edge-file I/O "
+             "('file' mirrors every charged block as a real pread/pwrite)",
     )
     group.add_argument(
         "--block-size", type=int, default=EngineConfig().block_size,
@@ -54,6 +65,15 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--cache-policy", default="lru", choices=_CACHE_POLICIES,
         help="cache eviction policy",
     )
+    group.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="spill-file directory for --backend file "
+             "(default: private tmpdir, removed on close)",
+    )
+    group.add_argument(
+        "--fsync", default="close", choices=_FSYNC_POLICIES,
+        help="fsync policy for --backend file",
+    )
 
 
 def _engine_config(args: argparse.Namespace) -> EngineConfig:
@@ -63,14 +83,16 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         block_size=args.block_size,
         cache_blocks=args.cache_blocks,
         cache_policy=args.cache_policy,
+        data_dir=args.data_dir,
+        fsync_policy=args.fsync,
     ).validate()
 
 
 def _cmd_compute(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.seed)
     config = _engine_config(args)
-    context = ExecutionContext(config)
-    result = max_truss(graph, method=args.method, context=context)
+    with ExecutionContext(config) as context:
+        result = max_truss(graph, method=args.method, context=context)
     if args.format != "plain":
         from .reporting import render_result
 
@@ -100,10 +122,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     config = _engine_config(args)
     # One fresh context per method: same recipe, no warm-cache bleed
     # between competitors.
-    results = [
-        max_truss(graph, method=method, context=ExecutionContext(config))
-        for method in args.methods
-    ]
+    results = []
+    for method in args.methods:
+        with ExecutionContext(config) as context:
+            results.append(max_truss(graph, method=method, context=context))
     answers = {result.k_max for result in results}
     print(render_comparison(results, args.format))
     print(f"engine: {config.summary()}")
@@ -194,7 +216,8 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
 def _cmd_maintain(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.seed)
     config = _engine_config(args)
-    state = DynamicMaxTruss(graph, context=ExecutionContext(config))
+    engine_context = ExecutionContext(config)
+    state = DynamicMaxTruss(graph, context=engine_context)
     print(f"engine: {config.summary()}")
     print(f"initial k_max: {state.k_max}")
     stream = open(args.updates, "r", encoding="utf-8") if args.updates else sys.stdin
@@ -235,6 +258,30 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
             f"{batch.elapsed_seconds * 1e3:.2f}ms"
         )
     print(f"final k_max: {state.k_max} ({state.truss_edge_count()} class edges)")
+    engine_context.close()
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from .graph import formats
+
+    writers = {
+        "text": write_text_edgelist,
+        "rgr": formats.write_rgr,
+        "metis": formats.write_metis,
+        "compressed": formats.write_compressed,
+    }
+    to = args.to
+    if to is None:
+        # Infer from the output extension; .rgr is the common case (the
+        # paper's offline binary-adjacency preprocessing).
+        suffix = args.output.rsplit(".", 1)[-1].lower()
+        to = {"rgr": "rgr", "metis": "metis", "graph": "metis",
+              "cgr": "compressed"}.get(suffix, "text")
+    graph = _load_graph(args.input, args.seed)
+    writers[to](graph, args.output)
+    print(f"converted {args.input} (n={graph.n}, m={graph.m}) "
+          f"to {to}: {args.output}")
     return 0
 
 
@@ -289,6 +336,19 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("output")
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(func=_cmd_generate)
+
+    convert = sub.add_parser(
+        "convert",
+        help="re-encode a graph (text/metis/compressed/.rgr binary CSR)",
+    )
+    convert.add_argument("input", help="edge-list/.rgr file or dataset name")
+    convert.add_argument("output", help="output path")
+    convert.add_argument(
+        "--to", default=None, choices=["text", "metis", "compressed", "rgr"],
+        help="output format (default: inferred from the output extension)",
+    )
+    convert.add_argument("--seed", type=int, default=0)
+    convert.set_defaults(func=_cmd_convert)
 
     maintain = sub.add_parser("maintain", help="apply an update stream")
     maintain.add_argument("graph", help="edge-list file or dataset name")

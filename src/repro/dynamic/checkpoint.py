@@ -7,17 +7,33 @@ current ``k_max``, the class with its in-truss supports, and the coreness
 cache with its staleness counter — in one self-describing binary file.
 I/O-accounting state (device counters) intentionally restarts at zero.
 
-Format: magic/version header, then little-endian int64 sections::
+Format (version 2): magic/version header, then little-endian int64
+sections, then a trailing CRC32 (of header + sections)::
 
-    n, k_max, insertions_since_refresh,
+    n, k_max, insertions_since_refresh, wal_seq,
     m,      m * (u, v, stable_eid)
     c,      c * (eid, in_truss_support)
     n_core, n_core * coreness
+    crc32 (u32)
+
+``wal_seq`` is the sequence number of the last write-ahead-log record the
+state has applied (0 when checkpointing outside the WAL lifecycle); the
+recovery path (:mod:`repro.persistence.recovery`) uses it to skip WAL
+records the checkpoint already contains. Version-1 files (no ``wal_seq``,
+no CRC) still load.
+
+Crash safety: :func:`save_checkpoint` writes to a temporary file in the
+target directory, fsyncs it, and atomically :func:`os.replace`\\ s it over
+*path* — a crash mid-save can never corrupt the previous checkpoint, and
+the trailing CRC rejects any torn or bit-rotted image at load time.
 """
 
 from __future__ import annotations
 
+import os
 import struct
+import tempfile
+import zlib
 from pathlib import Path
 from typing import Optional, Union
 
@@ -32,8 +48,10 @@ from .state import DynamicMaxTruss
 PathLike = Union[str, Path]
 
 _MAGIC = 0x544B5043  # "CPKT"
-_VERSION = 1
+_VERSION = 2
+_V1 = 1
 _HEADER = struct.Struct("<II")
+_CRC = struct.Struct("<I")
 
 
 def _pack_ints(values) -> bytes:
@@ -59,11 +77,35 @@ class _Reader:
         return int(self.ints(1)[0])
 
 
-def save_checkpoint(state: DynamicMaxTruss, path: PathLike) -> int:
-    """Write *state* to *path*; returns the byte size written."""
+def _fsync_directory(path: PathLike) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    directory = os.path.dirname(os.path.abspath(str(path))) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def save_checkpoint(
+    state: DynamicMaxTruss, path: PathLike, wal_seq: int = 0
+) -> int:
+    """Atomically write *state* to *path*; returns the byte size written.
+
+    The image lands via temp file + fsync + :func:`os.replace`, so *path*
+    always holds either the previous intact checkpoint or the new one —
+    never a torn mixture. *wal_seq* records the last applied WAL sequence
+    for the recovery protocol (0 outside the WAL lifecycle).
+    """
     chunks = [_HEADER.pack(_MAGIC, _VERSION)]
     chunks.append(_pack_ints([
         state.graph.n, state.k_max, state._insertions_since_refresh,
+        int(wal_seq),
     ]))
     edge_rows = []
     for eid in state.graph.live_edge_ids():
@@ -78,9 +120,26 @@ def save_checkpoint(state: DynamicMaxTruss, path: PathLike) -> int:
     chunks.append(_pack_ints(class_rows))
     chunks.append(_pack_ints([len(state._coreness)]))
     chunks.append(_pack_ints(state._coreness))
-    payload = b"".join(chunks)
-    with open(path, "wb") as handle:
-        handle.write(payload)
+    body = b"".join(chunks)
+    payload = body + _CRC.pack(zlib.crc32(body))
+    path = str(path)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    handle, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(handle, "wb") as temp:
+            temp.write(payload)
+            temp.flush()
+            os.fsync(temp.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path)
     return len(payload)
 
 
@@ -94,6 +153,8 @@ def load_checkpoint(
     The restored state is behaviourally identical to the saved one (same
     answers, same stable edge ids); the storage context starts fresh
     unless an existing *context* (or deprecated *device*) is supplied.
+    The WAL sequence recorded at save time is exposed as
+    ``state.recovered_wal_seq`` (0 for version-1 checkpoints).
     """
     with open(path, "rb") as handle:
         payload = handle.read()
@@ -102,12 +163,20 @@ def load_checkpoint(
     magic, version = _HEADER.unpack(payload[: _HEADER.size])
     if magic != _MAGIC:
         raise GraphFormatError(f"{path}: bad checkpoint magic 0x{magic:08x}")
-    if version != _VERSION:
+    if version not in (_V1, _VERSION):
         raise GraphFormatError(f"{path}: unsupported checkpoint version {version}")
+    if version >= _VERSION:
+        if len(payload) < _HEADER.size + _CRC.size:
+            raise GraphFormatError(f"{path}: truncated checkpoint trailer")
+        body, (crc,) = payload[: -_CRC.size], _CRC.unpack(payload[-_CRC.size:])
+        if zlib.crc32(body) != crc:
+            raise GraphFormatError(f"{path}: checkpoint checksum mismatch")
+        payload = body
     reader = _Reader(payload[_HEADER.size:])
     n = reader.one()
     k_max = reader.one()
     staleness = reader.one()
+    wal_seq = reader.one() if version >= _VERSION else 0
     edge_count = reader.one()
     edge_rows = reader.ints(3 * edge_count).reshape(-1, 3)
     class_count = reader.one()
@@ -132,4 +201,5 @@ def load_checkpoint(
     state._coreness = coreness
     state._insertions_since_refresh = staleness
     state.memory.charge("dyn.coreness", coreness.nbytes)
+    state.recovered_wal_seq = wal_seq
     return state

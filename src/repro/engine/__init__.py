@@ -25,6 +25,7 @@ from .config import EngineConfig, TraceHook
 from .backends import (
     BackendFactory,
     available_backends,
+    list_backends,
     make_device,
     register_backend,
     unregister_backend,
@@ -43,9 +44,18 @@ __all__ = [
     "TraceHook",
     "BackendFactory",
     "available_backends",
+    "list_backends",
     "make_device",
     "register_backend",
     "unregister_backend",
     "resolve_context",
     "ensure_device",
 ]
+
+# The "file" backend lives in repro.persistence, which imports back into
+# the engine (graph formats -> graph package -> engine.context); register
+# it here, after the registry and context are fully initialised, so the
+# cycle is already resolved by the time the persistence package loads.
+from ..persistence.file_device import register_file_backend  # noqa: E402
+
+register_file_backend()

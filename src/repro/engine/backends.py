@@ -68,6 +68,17 @@ def available_backends() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def list_backends() -> List[str]:
+    """Sorted registered backend names.
+
+    The canonical enumeration surface: the CLI's ``--backend`` choices and
+    help text, report stamps, and the unknown-backend error message all go
+    through here, so a newly registered backend shows up everywhere at
+    once. (:func:`available_backends` is the original alias.)
+    """
+    return available_backends()
+
+
 def make_device(
     config: EngineConfig,
     num_vertices: int,
@@ -79,7 +90,7 @@ def make_device(
     except KeyError:
         raise DeviceError(
             f"unknown storage backend {config.backend!r}; "
-            f"available: {', '.join(available_backends())}"
+            f"available: {', '.join(list_backends())}"
         ) from None
     config.validate()
     return factory(config, num_vertices, stats)

@@ -25,6 +25,7 @@ from ..storage import DEFAULT_BLOCK_SIZE
 TraceHook = Callable[[str, Dict[str, Any]], None]
 
 _POLICIES = ("lru", "fifo", "clock")
+_FSYNC_POLICIES = ("never", "close", "always")
 
 
 @dataclass
@@ -61,6 +62,15 @@ class EngineConfig:
         fresh :class:`~repro._util.WorkBudget` built from it, and
         :class:`~repro.dynamic.state.DynamicMaxTruss` adopts it as its
         local-tier budget.
+    data_dir:
+        Directory for the ``file`` backend's spill file. ``None``
+        (default) uses a private temporary directory removed when the
+        device closes. Ignored by the purely simulated backends.
+    fsync_policy:
+        When the ``file`` backend fsyncs its spill file: ``never``,
+        ``close`` (default: once, when the device closes) or ``always``
+        (after every physical block write). Ignored by the simulated
+        backends.
     trace:
         Optional hook called as ``trace(event, payload)`` at engine events
         (device construction, phase boundaries).
@@ -80,6 +90,8 @@ class EngineConfig:
     headroom: float = 4.0
     batch_fast_path: bool = True
     work_limit: Optional[int] = None
+    data_dir: Optional[str] = None
+    fsync_policy: str = "close"
     trace: Optional[TraceHook] = field(default=None, repr=False)
 
     def validate(self) -> "EngineConfig":
@@ -106,6 +118,11 @@ class EngineConfig:
             raise DeviceError(
                 f"work_limit must be positive or None, got {self.work_limit}"
             )
+        if self.fsync_policy not in _FSYNC_POLICIES:
+            raise DeviceError(
+                f"unknown fsync policy {self.fsync_policy!r}; "
+                f"known: {', '.join(_FSYNC_POLICIES)}"
+            )
         return self
 
     def describe(self) -> Dict[str, Any]:
@@ -118,6 +135,8 @@ class EngineConfig:
             "headroom": self.headroom,
             "batch_fast_path": self.batch_fast_path,
             "work_limit": self.work_limit,
+            "data_dir": self.data_dir,
+            "fsync_policy": self.fsync_policy,
         }
 
     def summary(self) -> str:
@@ -133,4 +152,8 @@ class EngineConfig:
             parts.append("fast_path=off")
         if self.work_limit is not None:
             parts.append(f"work_limit={self.work_limit}")
+        if self.backend == "file":
+            parts.append(f"fsync={self.fsync_policy}")
+            if self.data_dir is not None:
+                parts.append(f"data_dir={self.data_dir}")
         return " ".join(parts)

@@ -136,6 +136,27 @@ class ExecutionContext:
                 write_ios=delta.write_ios,
             )
 
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release the device's resources (idempotent).
+
+        Simulated devices only flush their dirty-block ledger; the
+        ``file`` backend additionally fsyncs (per ``config.fsync_policy``)
+        and deletes its spill file, so a closed context leaves nothing on
+        disk. Safe to call before the device was ever built.
+        """
+        if self._device is not None:
+            self._device.close()
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "live" if self._device is not None else "idle"
         return f"ExecutionContext({self.config.summary()}, {state})"

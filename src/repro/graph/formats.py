@@ -1,4 +1,4 @@
-"""Additional graph file formats: METIS and a compressed binary image.
+"""Additional graph file formats: METIS, compressed binary, and ``.rgr``.
 
 * **METIS** — the classic partitioner format: a header line ``n m`` then
   one line per vertex listing its (1-based) neighbours. Widely produced by
@@ -8,6 +8,11 @@
   prefixes; the encoding stores ``(Δu, v − u)`` per edge with LEB128
   varints, typically 3-6× smaller than the fixed 16-byte rows of
   :func:`repro.graph.edgelist.write_binary`.
+* **``.rgr``** — the checksummed binary CSR image
+  (:mod:`repro.persistence.graph_file`): loads with no per-edge Python,
+  the analogue of the paper's offline "binary adjacency list" conversion.
+  Re-exported here lazily — the persistence package initialises after the
+  graph package, so a module-level import would see it half-built.
 """
 
 from __future__ import annotations
@@ -162,3 +167,29 @@ def read_compressed(path: PathLike) -> Graph:
     """Read a graph written by :func:`write_compressed`."""
     with open(path, "rb") as handle:
         return decompress_graph(handle.read())
+
+
+# --------------------------------------------------------------------- #
+# .rgr (binary CSR image, repro.persistence.graph_file)
+# --------------------------------------------------------------------- #
+
+
+def write_rgr(graph: Graph, path: PathLike) -> int:
+    """Write the ``.rgr`` binary CSR image; returns the bytes written."""
+    from ..persistence.graph_file import write_rgr as _write_rgr
+
+    return _write_rgr(graph, path)
+
+
+def read_rgr(path: PathLike) -> Graph:
+    """Read a graph from a ``.rgr`` binary CSR image."""
+    from ..persistence.graph_file import read_rgr as _read_rgr
+
+    return _read_rgr(path)
+
+
+def is_rgr(path: PathLike) -> bool:
+    """Whether *path* starts with the ``.rgr`` magic."""
+    from ..persistence.graph_file import is_rgr as _is_rgr
+
+    return _is_rgr(path)

@@ -1,0 +1,142 @@
+"""Fault injection for the persistence layer.
+
+Crash-safety claims are only as good as the crashes they were tested
+against. :class:`FaultInjector` is a drop-in replacement for the syscall
+shim the WAL (and checkpoint writer) issue their writes through; it
+counts operations and, at a configured point, simulates the failure modes
+that matter for a length+CRC framed log:
+
+* **torn write** — only a prefix of one ``write`` reaches the file before
+  the "machine dies" (:class:`SimulatedCrash`), the classic partially
+  flushed tail;
+* **fail after N ops** — a clean crash between operations (everything up
+  to the cut is durable, nothing after it happens);
+* **failing fsync** — the barrier itself dies, after the data may or may
+  not have reached the file.
+
+Recovery tests drive a maintenance stream through an injector, catch the
+:class:`SimulatedCrash`, and then assert that :func:`repro.persistence.recover`
+reconstructs a state identical to a from-scratch decomposition — with the
+torn record *detected and truncated*, never applied.
+
+:func:`tear_file` covers the remaining surface: mangling bytes of an
+already-written file (bit rot / short read), for reader-side CRC tests.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import ReproError
+
+PathLike = Union[str, Path]
+
+
+class SimulatedCrash(ReproError):
+    """Raised by a :class:`FaultInjector` when its trigger fires.
+
+    Deliberately *not* a :class:`~repro.errors.GraphFormatError`: callers
+    of the persistence layer must treat it like a process death (stop,
+    recover), not like a malformed file.
+    """
+
+
+class FaultInjector:
+    """Syscall shim with a programmable failure point.
+
+    Parameters
+    ----------
+    fail_after_ops:
+        Crash *before* executing the (N+1)-th operation (writes and
+        fsyncs both count). ``None`` disables.
+    torn_write_at:
+        On the N-th **write** (1-based), persist only ``torn_fraction`` of
+        the buffer, then crash. ``None`` disables.
+    torn_fraction:
+        How much of the torn write survives (default: half, rounded down;
+        0.0 tears the whole write away).
+    fail_fsync:
+        Every fsync crashes (after N ops have succeeded, combine with
+        *fail_after_ops*).
+
+    >>> injector = FaultInjector(torn_write_at=3)
+    >>> injector.ops
+    0
+    """
+
+    def __init__(
+        self,
+        fail_after_ops: Optional[int] = None,
+        torn_write_at: Optional[int] = None,
+        torn_fraction: float = 0.5,
+        fail_fsync: bool = False,
+    ) -> None:
+        if not 0.0 <= torn_fraction < 1.0:
+            raise ValueError(
+                f"torn_fraction must be in [0, 1), got {torn_fraction}"
+            )
+        self.fail_after_ops = fail_after_ops
+        self.torn_write_at = torn_write_at
+        self.torn_fraction = torn_fraction
+        self.fail_fsync = fail_fsync
+        self.ops = 0
+        self.writes = 0
+        self.crashed = False
+
+    def _crash(self, reason: str) -> None:
+        self.crashed = True
+        raise SimulatedCrash(f"injected fault: {reason}")
+
+    def _gate(self) -> None:
+        if self.crashed:
+            self._crash("operation after crash")
+        if self.fail_after_ops is not None and self.ops >= self.fail_after_ops:
+            self._crash(f"fail_after_ops={self.fail_after_ops}")
+
+    def write(self, fd: int, data: bytes) -> int:
+        self._gate()
+        self.ops += 1
+        self.writes += 1
+        if self.torn_write_at is not None and self.writes == self.torn_write_at:
+            kept = int(len(data) * self.torn_fraction)
+            written = 0
+            while written < kept:
+                written += os.write(fd, data[written:kept])
+            os.fsync(fd)  # make the torn prefix durable before "dying"
+            self._crash(
+                f"torn write #{self.writes}: {kept}/{len(data)} bytes persisted"
+            )
+        total = 0
+        while total < len(data):
+            total += os.write(fd, data[total:])
+        return total
+
+    def fsync(self, fd: int) -> None:
+        self._gate()
+        self.ops += 1
+        if self.fail_fsync:
+            self._crash("fsync failure")
+        os.fsync(fd)
+
+
+def tear_file(path: PathLike, keep_bytes: int) -> int:
+    """Truncate *path* to its first *keep_bytes* bytes (simulated torn
+    tail on an already-closed file); returns the bytes removed."""
+    size = os.path.getsize(path)
+    keep = max(0, min(int(keep_bytes), size))
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+    return size - keep
+
+
+def corrupt_byte(path: PathLike, offset: int, xor: int = 0xFF) -> None:
+    """Flip bits of one byte in place (bit-rot simulation for CRC tests)."""
+    with open(path, "rb+") as handle:
+        handle.seek(offset)
+        original = handle.read(1)
+        if not original:
+            raise ValueError(f"offset {offset} beyond end of {path}")
+        handle.seek(offset)
+        handle.write(bytes([original[0] ^ xor]))

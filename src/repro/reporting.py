@@ -75,6 +75,15 @@ def render_result(result: MaxTrussResult, fmt: str = "text") -> str:
         ("peak model memory (B)", result.peak_memory_bytes),
         ("elapsed (s)", f"{result.elapsed_seconds:.3f}"),
     ]
+    physical = getattr(result.io, "physical", None)
+    if physical is not None:
+        # The file backend moved real bytes alongside the charged model
+        # I/Os; report both so the two ledgers stay distinguishable.
+        rows += [
+            ("physical bytes read", physical.bytes_read),
+            ("physical bytes written", physical.bytes_written),
+            ("fsyncs", physical.fsyncs),
+        ]
     return render_table(("metric", "value"), rows, fmt)
 
 

@@ -4,7 +4,7 @@ See DESIGN.md §2 for how this simulator substitutes for the paper's physical
 SSD while preserving the I/O-count comparisons the experiments make.
 """
 
-from .stats import IOStats, MemoryMeter
+from .stats import IOStats, MemoryMeter, PhysicalIOStats
 from .device import (
     BlockDevice,
     InMemoryBlockDevice,
@@ -19,6 +19,7 @@ from .cache_policies import LRUCache, FIFOCache, ClockCache, make_cache
 __all__ = [
     "IOStats",
     "MemoryMeter",
+    "PhysicalIOStats",
     "BlockDevice",
     "InMemoryBlockDevice",
     "ReferenceBlockDevice",

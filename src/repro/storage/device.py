@@ -185,6 +185,20 @@ class BlockDevice:
         self.stats.bytes_written += self.block_size
         self._extent_io.setdefault(self._extent_names.get(extent, "?"), [0, 0])[1] += 1
 
+    def _charge_read_block(self, key: Tuple[int, int]) -> None:
+        """Charge one read of a specific block.
+
+        The scalar paths route per-block reads through here so a physical
+        backend (:class:`~repro.persistence.FileBlockDevice`) can move the
+        actual block while charging identically. The base implementation
+        only posts the counters.
+        """
+        self._charge_read(key[0])
+
+    def _charge_write_block(self, key: Tuple[int, int]) -> None:
+        """Charge one write of a specific block (see :meth:`_charge_read_block`)."""
+        self._charge_write(key[0])
+
     def _charge_reads_bulk(self, extent: int, count: int) -> None:
         """Charge *count* read I/Os against one extent in a single update.
 
@@ -216,13 +230,13 @@ class BlockDevice:
         """Admit a block to the pool, evicting (and charging) if full."""
         evicted = self._cache.insert(key, dirty)
         if evicted is not None and evicted[1]:
-            self._charge_write(evicted[0][0])
+            self._charge_write_block(evicted[0])
 
     def _touch_block(self, key: Tuple[int, int], write: bool) -> None:
         cached = self._cache.lookup(key)
         if cached is None:
             # Miss: fetch block from disk.
-            self._charge_read(key[0])
+            self._charge_read_block(key)
             self._insert_block(key, dirty=write)
         elif write and not cached:
             self._cache.set_dirty(key, True)
@@ -247,7 +261,7 @@ class BlockDevice:
             cached = self._cache.lookup(key)
             if cached is None:
                 if not covers_block:
-                    self._charge_read(extent)
+                    self._charge_read_block(key)
                 self._insert_block(key, dirty=True)
             elif not cached:
                 self._cache.set_dirty(key, True)
@@ -443,8 +457,17 @@ class BlockDevice:
         """Write back every dirty cached block (e.g. at algorithm end)."""
         for key, dirty in self._cache.items():
             if dirty:
-                self._charge_write(key[0])
+                self._charge_write_block(key)
                 self._cache.set_dirty(key, False)
+
+    def close(self) -> None:
+        """Flush and release the device.
+
+        The simulator holds no OS resources, so closing only writes back
+        dirty blocks; file-backed devices additionally sync and delete
+        their spill file. Safe to call more than once.
+        """
+        self.flush()
 
     def io_by_extent(self) -> Dict[str, Tuple[int, int]]:
         """Breakdown ``extent name -> (read_ios, write_ios)``.

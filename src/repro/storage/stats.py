@@ -16,8 +16,56 @@ provides the two meters shared by every component of the library:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 import contextlib
+
+
+@dataclass
+class PhysicalIOStats:
+    """Counters for *physical* I/O performed by a file-backed device.
+
+    The charged counters in :class:`IOStats` are the I/O model's bill: one
+    I/O per block moved, regardless of backend. These counters are the
+    syscall-level truth of the ``file`` backend — bytes that actually went
+    through ``os.pread``/``os.pwrite`` plus the ``fsync`` barriers issued.
+    A simulated device has none (its :attr:`IOStats.physical` stays
+    ``None``); on a :class:`~repro.persistence.FileBlockDevice` they are
+    nonzero whenever the charged counters are.
+    """
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    fsyncs: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+
+    def snapshot(self) -> "PhysicalIOStats":
+        """Return an independent copy of the current counters."""
+        return PhysicalIOStats(self.bytes_read, self.bytes_written, self.fsyncs)
+
+    def since(self, earlier: "PhysicalIOStats") -> "PhysicalIOStats":
+        """Return the delta between *earlier* (a snapshot) and now."""
+        return PhysicalIOStats(
+            self.bytes_read - earlier.bytes_read,
+            self.bytes_written - earlier.bytes_written,
+            self.fsyncs - earlier.fsyncs,
+        )
+
+    def merge(self, other: "PhysicalIOStats") -> None:
+        """Add *other*'s counters into this one."""
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.fsyncs += other.fsyncs
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PhysicalIOStats(MB_read={self.bytes_read / 2**20:.2f}, "
+            f"MB_written={self.bytes_written / 2**20:.2f}, fsyncs={self.fsyncs})"
+        )
 
 
 @dataclass
@@ -32,12 +80,20 @@ class IOStats:
         Number of block writes (a dirty block evicted or flushed).
     bytes_read / bytes_written:
         Raw byte volume behind those I/Os.
+    physical:
+        :class:`PhysicalIOStats` attached by a file-backed device, ``None``
+        for purely simulated ones. Excluded from equality: the ``file``
+        backend's contract is *identical charged counters* to ``simulated``
+        while its physical counters are necessarily different (nonzero).
     """
 
     read_ios: int = 0
     write_ios: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    physical: Optional[PhysicalIOStats] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def total_ios(self) -> int:
@@ -50,18 +106,31 @@ class IOStats:
         self.write_ios = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        if self.physical is not None:
+            self.physical.reset()
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""
-        return IOStats(self.read_ios, self.write_ios, self.bytes_read, self.bytes_written)
+        return IOStats(
+            self.read_ios, self.write_ios, self.bytes_read, self.bytes_written,
+            physical=None if self.physical is None else self.physical.snapshot(),
+        )
 
     def since(self, earlier: "IOStats") -> "IOStats":
         """Return the delta between *earlier* (a snapshot) and now."""
+        physical = None
+        if self.physical is not None:
+            physical = (
+                self.physical.since(earlier.physical)
+                if earlier.physical is not None
+                else self.physical.snapshot()
+            )
         return IOStats(
             self.read_ios - earlier.read_ios,
             self.write_ios - earlier.write_ios,
             self.bytes_read - earlier.bytes_read,
             self.bytes_written - earlier.bytes_written,
+            physical=physical,
         )
 
     def merge(self, other: "IOStats") -> None:
@@ -70,6 +139,10 @@ class IOStats:
         self.write_ios += other.write_ios
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
+        if other.physical is not None:
+            if self.physical is None:
+                self.physical = PhysicalIOStats()
+            self.physical.merge(other.physical)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

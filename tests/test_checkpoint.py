@@ -76,6 +76,78 @@ class TestRoundtrip:
         assert restored.graph.n >= 5
 
 
+class TestHardening:
+    """Version-2 durability: CRC trailer, atomic replace, v1 back-compat."""
+
+    def test_wal_seq_roundtrip(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        state = DynamicMaxTruss(paper_example_graph())
+        save_checkpoint(state, path, wal_seq=41)
+        assert load_checkpoint(path).recovered_wal_seq == 41
+        save_checkpoint(state, path)  # default outside the WAL lifecycle
+        assert load_checkpoint(path).recovered_wal_seq == 0
+
+    def test_crc_detects_any_flipped_byte(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        state = DynamicMaxTruss(paper_example_graph())
+        save_checkpoint(state, path)
+        payload = path.read_bytes()
+        for offset in [8, len(payload) // 2, len(payload) - 1]:
+            corrupted = bytearray(payload)
+            corrupted[offset] ^= 0xFF
+            path.write_bytes(bytes(corrupted))
+            with pytest.raises(GraphFormatError):
+                load_checkpoint(path)
+
+    def test_failed_save_preserves_previous_checkpoint(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        state = DynamicMaxTruss(paper_example_graph())
+        save_checkpoint(state, path, wal_seq=7)
+        before = path.read_bytes()
+        broken = DynamicMaxTruss(paper_example_graph())
+        broken._coreness = "not-an-array"  # save will raise mid-encode
+        with pytest.raises(Exception):
+            save_checkpoint(broken, path, wal_seq=8)
+        # The previous image is untouched and no temp files linger.
+        assert path.read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["state.ckpt"]
+        assert load_checkpoint(path).recovered_wal_seq == 7
+
+    def test_version1_checkpoints_still_load(self, tmp_path):
+        """Files written before the CRC/wal_seq hardening must load."""
+        import struct
+
+        path = tmp_path / "v1.ckpt"
+        state = DynamicMaxTruss(paper_example_graph())
+        save_checkpoint(state, path)
+        payload = bytearray(path.read_bytes())
+        # Rewrite as the v1 layout: version 1, no wal_seq int, no CRC.
+        header = struct.Struct("<II")
+        magic, _ = header.unpack_from(bytes(payload))
+        body = payload[header.size:-4]  # drop CRC trailer
+        ints = np.frombuffer(bytes(body), dtype="<i8").copy()
+        v1_ints = np.concatenate([ints[:3], ints[4:]])  # drop wal_seq
+        path.write_bytes(header.pack(magic, 1) + v1_ints.tobytes())
+        restored = load_checkpoint(path)
+        assert restored.k_max == state.k_max
+        assert restored.truss_pairs() == state.truss_pairs()
+        assert restored.recovered_wal_seq == 0
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        import struct
+
+        path = tmp_path / "future.ckpt"
+        state = DynamicMaxTruss(paper_example_graph())
+        save_checkpoint(state, path)
+        payload = bytearray(path.read_bytes())
+        header = struct.Struct("<II")
+        magic, _ = header.unpack_from(bytes(payload))
+        payload[:header.size] = header.pack(magic, 99)
+        path.write_bytes(bytes(payload))
+        with pytest.raises(GraphFormatError, match="version"):
+            load_checkpoint(path)
+
+
 class TestErrors:
     def test_truncated_header(self, tmp_path):
         path = tmp_path / "bad.ckpt"

@@ -1,0 +1,230 @@
+"""Kill-recovery: crash a maintenance stream, recover, demand exactness.
+
+The acceptance bar for the persistence subsystem: inject a crash at an
+arbitrary point of a dynamic update stream (torn WAL write, clean
+fail-after-N), run :func:`repro.persistence.recover`, and the recovered
+state's answers must equal a from-scratch decomposition of exactly the
+operations that were applied before the crash — torn records detected and
+dropped, checkpointed records never double-applied, sequence numbers
+strictly increasing across every crash/recover generation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines import max_truss_edges
+from repro.dynamic import DynamicMaxTruss
+from repro.errors import GraphFormatError
+from repro.graph.generators import gnm_random, paper_example_graph
+from repro.persistence import (
+    CHECKPOINT_NAME,
+    WAL_NAME,
+    FaultInjector,
+    SimulatedCrash,
+    durable_from_graph,
+    recover,
+)
+
+SEED = 3
+
+
+def _graph():
+    return gnm_random(40, 120, seed=SEED)
+
+
+def _updates(graph, count=8):
+    """A mixed stream whose inserts are guaranteed absent."""
+    present = {tuple(map(int, row)) for row in graph.edges}
+    inserts = []
+    u, v = 0, 1
+    while len(inserts) < count - 2:
+        edge = (min(u, v), max(u, v))
+        if u != v and edge not in present:
+            inserts.append(("insert", *edge))
+            present.add(edge)
+        v += 7
+        if v >= graph.n:
+            u, v = u + 3, (u + 4) % graph.n
+    deletes = [("delete", int(r[0]), int(r[1])) for r in graph.edges[:2]]
+    return inserts[:3] + deletes[:1] + inserts[3:5] + deletes[1:] + inserts[5:]
+
+
+def _drive(durable, updates):
+    """Apply updates until a crash; returns the ops that were applied."""
+    applied = []
+    for op, u, v in updates:
+        try:
+            getattr(durable, op)(u, v)
+        except SimulatedCrash:
+            return applied, True
+        applied.append((op, u, v))
+    return applied, False
+
+
+def _expected_state(applied):
+    state = DynamicMaxTruss(_graph())
+    if applied:
+        state.apply_batch(applied)
+    return state
+
+
+class TestKillRecovery:
+    # Each insert/delete appends exactly one WAL record, so a state's
+    # applied_seq doubles as "how many stream ops are in it". A caller
+    # whose op crashed mid-call cannot know whether the record became
+    # durable before the fault, so the recovered prefix may legitimately
+    # run one op past what the caller saw complete — never further, and
+    # never shorter (a durable op is never lost).
+
+    def _check_exact_prefix(self, recovered, updates, applied):
+        durable_ops = recovered.applied_seq
+        assert len(applied) <= durable_ops <= len(applied) + 1
+        expected = _expected_state(updates[:durable_ops])
+        assert recovered.state.k_max == expected.k_max
+        assert recovered.state.truss_pairs() == expected.truss_pairs()
+
+    @pytest.mark.parametrize("torn_at", range(1, 14))
+    def test_torn_write_at_every_position(self, torn_at, tmp_path):
+        """Crash the stream at every write, recover, compare exactly."""
+        updates = _updates(_graph())
+        injector = FaultInjector(torn_write_at=torn_at)
+        applied, crashed = [], True
+        try:
+            durable = durable_from_graph(
+                _graph(), tmp_path, checkpoint_every=3, file_ops=injector
+            )
+        except SimulatedCrash:
+            durable = None
+        if durable is not None:
+            applied, crashed = _drive(durable, updates)
+            if not crashed:
+                durable.close()
+        recovered = recover(tmp_path)
+        self._check_exact_prefix(recovered, updates, applied)
+        recovered.close()
+
+    @pytest.mark.parametrize("fail_after", [3, 7, 12, 20])
+    def test_clean_crash_between_ops(self, fail_after, tmp_path):
+        updates = _updates(_graph())
+        injector = FaultInjector(fail_after_ops=fail_after)
+        try:
+            durable = durable_from_graph(
+                _graph(), tmp_path, checkpoint_every=4, file_ops=injector
+            )
+        except SimulatedCrash:
+            durable = None
+        applied = []
+        if durable is not None:
+            applied, crashed = _drive(durable, updates)
+            if not crashed:
+                durable.close()
+        recovered = recover(tmp_path)
+        self._check_exact_prefix(recovered, updates, applied)
+        recovered.close()
+
+    def test_recovered_state_matches_fresh_decomposition(self, tmp_path):
+        """The headline acceptance check: recovery == from-scratch truss."""
+        updates = _updates(_graph())
+        injector = FaultInjector(torn_write_at=9)
+        durable = durable_from_graph(
+            _graph(), tmp_path, checkpoint_every=3, file_ops=injector
+        )
+        applied, crashed = _drive(durable, updates)
+        assert crashed
+        recovered = recover(tmp_path)
+        # Rebuild the surviving graph independently and decompose it.
+        durable_ops = recovered.applied_seq
+        assert len(applied) <= durable_ops <= len(applied) + 1
+        mutable = _graph().to_mutable()
+        for op, u, v in updates[:durable_ops]:
+            if op == "insert":
+                mutable.insert_edge(u, v)
+            else:
+                mutable.delete_edge(u, v)
+        frozen, _ = mutable.to_graph()
+        expected_k, expected_edges = max_truss_edges(frozen)
+        assert recovered.state.k_max == expected_k
+        assert recovered.state.truss_pairs() == expected_edges
+        info = recovered.last_recovery
+        assert info.wal_torn
+        assert info.replayed_ops == durable_ops - info.checkpoint_seq
+        recovered.close()
+
+
+class TestLifecycle:
+    def test_clean_close_and_recover(self, tmp_path):
+        durable = durable_from_graph(paper_example_graph(), tmp_path)
+        durable.insert(0, 4)
+        durable.close()
+        recovered = recover(tmp_path)
+        expected = DynamicMaxTruss(paper_example_graph())
+        expected.insert(0, 4)
+        assert recovered.state.k_max == expected.k_max
+        assert not recovered.last_recovery.wal_torn
+        recovered.close()
+
+    def test_checkpoint_skips_already_applied_records(self, tmp_path):
+        durable = durable_from_graph(
+            paper_example_graph(), tmp_path, checkpoint_every=1
+        )
+        durable.insert(0, 4)  # auto-checkpoint fires, WAL resets
+        durable.close()
+        recovered = recover(tmp_path)
+        assert recovered.last_recovery.replayed_records == 0
+        assert recovered.last_recovery.checkpoint_seq == 1
+        recovered.close()
+
+    def test_sequences_increase_across_generations(self, tmp_path):
+        durable = durable_from_graph(
+            paper_example_graph(), tmp_path, checkpoint_every=1
+        )
+        durable.insert(0, 4)
+        durable.close()
+        recovered = recover(tmp_path)
+        recovered.insert(2, 7)
+        assert recovered.applied_seq > recovered.last_recovery.checkpoint_seq
+        recovered.close()
+
+    def test_apply_batch_logs_runs_in_order(self, tmp_path):
+        graph = _graph()
+        stream = _updates(graph)
+        inserts = [op for op in stream if op[0] == "insert"][:2]
+        delete = next(op for op in stream if op[0] == "delete")
+        batch = inserts + [delete]
+        durable = durable_from_graph(graph, tmp_path)
+        durable.apply(batch)
+        durable.close()
+        recovered = recover(tmp_path)
+        assert recovered.last_recovery.replayed_records == 2  # two runs
+        assert recovered.last_recovery.replayed_ops == 3
+        expected = _expected_state(batch)
+        assert recovered.state.truss_pairs() == expected.truss_pairs()
+        recovered.close()
+
+    def test_fresh_directory_refuses_existing_checkpoint(self, tmp_path):
+        durable = durable_from_graph(paper_example_graph(), tmp_path)
+        durable.close()
+        with pytest.raises(GraphFormatError, match="recover"):
+            durable_from_graph(paper_example_graph(), tmp_path)
+
+    def test_recover_requires_checkpoint(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="no checkpoint"):
+            recover(tmp_path)
+
+    def test_directory_layout(self, tmp_path):
+        durable = durable_from_graph(paper_example_graph(), tmp_path)
+        durable.insert(0, 4)
+        durable.close()
+        assert sorted(os.listdir(tmp_path)) == sorted(
+            [CHECKPOINT_NAME, WAL_NAME]
+        )
+
+    def test_context_manager(self, tmp_path):
+        with durable_from_graph(paper_example_graph(), tmp_path) as durable:
+            durable.insert(0, 4)
+        recovered = recover(tmp_path)
+        assert recovered.state.k_max == 5
+        recovered.close()

@@ -1,0 +1,172 @@
+"""Write-ahead-log framing: round-trips, torn tails, sequence discipline.
+
+The WAL's one job is that a record is either wholly durable or detectably
+absent. These tests cover the happy path (append/read round-trips,
+sequence continuation across reopen) and every way a tail can tear —
+mid-frame truncation, bit rot under the CRC, a torn file header from a
+crash during reset — asserting the reader stops at the last intact record
+and :func:`repair_wal` truncates exactly there.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.persistence import (
+    FaultInjector,
+    SimulatedCrash,
+    WalRecord,
+    WriteAheadLog,
+    corrupt_byte,
+    read_wal,
+    repair_wal,
+    tear_file,
+)
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "wal.log")
+
+
+class TestRoundtrip:
+    def test_append_read(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.append("insert", [(1, 2), (3, 4)]) == 1
+            assert wal.append("delete", [(1, 2)]) == 2
+        records, valid_bytes, torn = read_wal(wal_path)
+        assert not torn
+        assert valid_bytes == os.path.getsize(wal_path)
+        assert records == [
+            WalRecord(1, "insert", ((1, 2), (3, 4))),
+            WalRecord(2, "delete", ((1, 2),)),
+        ]
+
+    def test_empty_batch(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("insert", [])
+        records, _, torn = read_wal(wal_path)
+        assert records == [WalRecord(1, "insert", ())]
+        assert not torn
+
+    def test_sequence_continues_across_reopen(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("insert", [(0, 1)])
+            wal.append("insert", [(0, 2)])
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.next_seq == 3
+            assert wal.append("delete", [(0, 1)]) == 3
+        records, _, _ = read_wal(wal_path)
+        assert [record.seq for record in records] == [1, 2, 3]
+
+    def test_reset_empties_log_without_losing_handle(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("insert", [(0, 1)])
+            wal.reset()
+            wal.append("insert", [(5, 6)])
+            records, _, _ = read_wal(wal_path)
+        assert len(records) == 1
+        assert records[0].edges == ((5, 6),)
+        # Sequence numbers never restart within one log lifetime.
+        assert records[0].seq == 2
+
+    def test_unknown_op_rejected(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            with pytest.raises(GraphFormatError, match="unknown WAL operation"):
+                wal.append("upsert", [(0, 1)])
+
+    def test_closed_log_rejects_appends(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(GraphFormatError, match="closed"):
+            wal.append("insert", [(0, 1)])
+
+
+class TestTornTails:
+    def _write_records(self, wal_path, count=4):
+        with WriteAheadLog(wal_path) as wal:
+            for index in range(count):
+                wal.append("insert", [(index, index + 1)])
+        return os.path.getsize(wal_path)
+
+    def test_truncation_at_every_byte_boundary(self, wal_path):
+        size = self._write_records(wal_path)
+        full_records, _, _ = read_wal(wal_path)
+        for keep in range(size - 1, 7, -5):
+            self._write_records(wal_path)
+            tear_file(wal_path, keep)
+            records, valid_bytes, torn = read_wal(wal_path)
+            assert torn or valid_bytes == keep
+            assert records == full_records[: len(records)]
+
+    def test_bit_rot_detected_by_crc(self, wal_path):
+        size = self._write_records(wal_path)
+        corrupt_byte(wal_path, size - 3)  # inside the last payload
+        records, _, torn = read_wal(wal_path)
+        assert torn
+        assert len(records) == 3  # the first three still intact
+
+    def test_repair_truncates_in_place(self, wal_path):
+        size = self._write_records(wal_path)
+        tear_file(wal_path, size - 5)
+        records, truncated = repair_wal(wal_path)
+        assert truncated
+        assert len(records) == 3
+        # After repair the file is clean and appendable.
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.next_seq == 4
+            wal.append("delete", [(9, 10)])
+        records, _, torn = read_wal(wal_path)
+        assert not torn
+        assert records[-1] == WalRecord(4, "delete", ((9, 10),))
+
+    def test_torn_header_reads_as_empty_torn_log(self, wal_path):
+        self._write_records(wal_path)
+        tear_file(wal_path, 4)  # only half the 8-byte header survives
+        records, valid_bytes, torn = read_wal(wal_path)
+        assert (records, valid_bytes, torn) == ([], 0, True)
+        # Reopening rebuilds the header and starts clean.
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("insert", [(1, 2)])
+        records, _, torn = read_wal(wal_path)
+        assert not torn and len(records) == 1
+
+    def test_bad_magic_is_corruption_not_torn(self, wal_path):
+        self._write_records(wal_path)
+        corrupt_byte(wal_path, 0)
+        with pytest.raises(GraphFormatError, match="magic"):
+            read_wal(wal_path)
+
+
+class TestFaultInjection:
+    def test_torn_write_leaves_detectable_tail(self, wal_path):
+        injector = FaultInjector(torn_write_at=3)
+        wal = WriteAheadLog(wal_path, file_ops=injector)
+        wal.append("insert", [(0, 1)])
+        with pytest.raises(SimulatedCrash):
+            wal.append("insert", [(2, 3)])
+        assert injector.crashed
+        records, truncated = repair_wal(wal_path)
+        assert truncated
+        assert records == [WalRecord(1, "insert", ((0, 1),))]
+
+    def test_fail_after_ops_loses_nothing_durable(self, wal_path):
+        injector = FaultInjector(fail_after_ops=4)  # header+sync, rec+sync
+        wal = WriteAheadLog(wal_path, file_ops=injector)
+        wal.append("insert", [(0, 1)])
+        with pytest.raises(SimulatedCrash):
+            wal.append("insert", [(2, 3)])
+        records, _, torn = read_wal(wal_path)
+        assert not torn
+        assert len(records) == 1
+
+    def test_injector_rejects_use_after_crash(self, wal_path):
+        injector = FaultInjector(fail_after_ops=0)
+        with pytest.raises(SimulatedCrash):
+            WriteAheadLog(wal_path, file_ops=injector)
+        with pytest.raises(SimulatedCrash):
+            injector.write(0, b"x")
