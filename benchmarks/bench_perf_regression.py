@@ -24,6 +24,12 @@ Sections
 ``decomposition`` / ``maintenance``
     Wall-clock + I/O tracking for the three semi-external algorithms and
     a batched maintenance churn — regression tracking only.
+``observability``
+    The tracer's price tag: one decomposition untraced vs traced. The
+    charged bill must be bit-identical (asserted) and span deltas must
+    sum exactly to the run totals (asserted); the section records the
+    wall-clock overhead factor, the top spans by self I/O and the
+    metrics snapshot.
 ``file_backend``
     The persistence layer's price tag: the same support-scan trace
     replayed through ``FileBlockDevice`` (real ``pread``/``pwrite`` per
@@ -235,6 +241,80 @@ def bench_file_backend(graph, reps: int) -> dict:
     }
 
 
+def bench_observability(graph, config: EngineConfig) -> dict:
+    """Price the tracer: the same decomposition untraced vs traced.
+
+    The charged bill must be bit-identical either way (tracing observes
+    the ledger, never participates in it) — that equivalence is asserted.
+    The recorded outputs are the wall-clock overhead factor, the span
+    count, the top spans by self I/O and the metrics snapshot, so a
+    change that makes tracing expensive (or spans that stop summing to
+    the run totals) shows up as a diff in this section.
+    """
+    from repro.observability import Tracer, summarize_trace
+    from repro.observability.metrics import pop_metrics, push_metrics
+
+    method = "semi-binary"
+    plain_context = ExecutionContext(config)
+    start = time.perf_counter()
+    plain = max_truss(graph, method=method, context=plain_context)
+    plain_context.close()
+    plain_s = time.perf_counter() - start
+
+    tracer = Tracer()
+    registry = push_metrics()
+    try:
+        traced_context = ExecutionContext(config).attach_tracer(tracer)
+        start = time.perf_counter()
+        traced = max_truss(graph, method=method, context=traced_context)
+        traced_context.close()
+        traced_s = time.perf_counter() - start
+    finally:
+        pop_metrics()
+
+    if (
+        traced.k_max != plain.k_max
+        or traced_context.stats.read_ios != plain_context.stats.read_ios
+        or traced_context.stats.write_ios != plain_context.stats.write_ios
+        or traced_context.device.io_by_extent()
+        != plain_context.device.io_by_extent()
+    ):
+        raise AssertionError(
+            "tracing perturbed the charged ledger: "
+            f"traced={traced_context.stats} plain={plain_context.stats}"
+        )
+    summary = summarize_trace(tracer.records)
+    totals = summary["totals"]["io"]
+    if (
+        summary["attributed_io"]["read_ios"] != totals["read_ios"]
+        or summary["attributed_io"]["write_ios"] != totals["write_ios"]
+    ):
+        raise AssertionError(
+            "span deltas do not sum to run totals: "
+            f"{summary['attributed_io']} vs {totals}"
+        )
+    return {
+        "graph": {"n": graph.n, "m": graph.m},
+        "engine_config": config.describe(),
+        "method": method,
+        "untraced_s": round(plain_s, 4),
+        "traced_s": round(traced_s, 4),
+        "overhead_x": round(traced_s / plain_s, 2) if plain_s > 0 else None,
+        "span_count": summary["span_count"],
+        "total_ios": totals["read_ios"] + totals["write_ios"],
+        "top_spans_by_self_io": [
+            {
+                "name": g["name"],
+                "kind": g["kind"],
+                "count": g["count"],
+                "self_ios": g["self_total_ios"],
+            }
+            for g in summary["top_by_io"][:5]
+        ],
+        "metrics": registry.snapshot(),
+    }
+
+
 def bench_decomposition(graph, config: EngineConfig) -> dict:
     rows = {}
     for method in ("semi-binary", "semi-greedy-core", "semi-lazy-update"):
@@ -303,6 +383,8 @@ def run(smoke: bool) -> dict:
     )
     maintenance = bench_maintenance(maint_graph, ops=4 if smoke else 16, config=config)
 
+    observability = bench_observability(decomp_graph, config)
+
     return {
         "schema": 1,
         "mode": "smoke" if smoke else "full",
@@ -316,6 +398,7 @@ def run(smoke: bool) -> dict:
             "file_backend": file_backend,
             "decomposition": decomposition,
             "maintenance": maintenance,
+            "observability": observability,
         },
     }
 
@@ -356,6 +439,13 @@ def main(argv=None) -> int:
         f"file {file_backend['file_s']}s -> {file_backend['overhead_x']}x "
         f"overhead ({physical['bytes_read']} B read, "
         f"{physical['bytes_written']} B written)"
+    )
+    observability = report["benchmarks"]["observability"]
+    print(
+        f"observability: untraced {observability['untraced_s']}s, "
+        f"traced {observability['traced_s']}s -> "
+        f"{observability['overhead_x']}x overhead, "
+        f"{observability['span_count']} spans, charged bill identical"
     )
     return 0 if accounting["passed"] else 1
 

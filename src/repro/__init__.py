@@ -20,6 +20,8 @@ Packages
 * :mod:`repro.dynamic` — k_max-truss maintenance (+ YLJ baselines)
 * :mod:`repro.baselines` — in-memory ground truth, Bottom-Up, Top-Down
 * :mod:`repro.analysis` — degeneracy, cliques, dataset statistics
+* :mod:`repro.observability` — structured tracing, metrics registry,
+  per-phase I/O attribution
 """
 
 from .core import (
@@ -34,6 +36,7 @@ from .core import (
 from .engine import EngineConfig, ExecutionContext, available_backends
 from .errors import ReproError
 from .graph import Graph, MutableGraph, DiskGraph
+from .observability import MetricsRegistry, Tracer, TraceWriter, read_trace
 from .storage import BlockDevice, IOStats, MemoryMeter
 from ._util import WorkBudget
 
@@ -58,5 +61,9 @@ __all__ = [
     "semi_binary",
     "semi_greedy_core",
     "semi_lazy_update",
+    "MetricsRegistry",
+    "Tracer",
+    "TraceWriter",
+    "read_trace",
     "__version__",
 ]

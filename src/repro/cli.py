@@ -10,6 +10,8 @@ Subcommands
   the binary ``.rgr`` CSR image — the paper's offline preprocessing step).
 * ``maintain`` — apply an update stream (``+u v`` / ``-u v`` lines) to a
   graph, reporting per-op maintenance cost.
+* ``trace`` — summarize or diff recorded trace files (``compute`` and
+  ``maintain`` record one with ``--trace FILE``).
 
 Graph operands accept dataset names, edge-list files, and ``.rgr`` images
 everywhere; ``--backend file`` runs any engine command against the real
@@ -19,6 +21,8 @@ file-backed device (identical charged I/O, plus physical byte counters).
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from typing import List, Optional
 
@@ -26,7 +30,7 @@ from .analysis.statistics import graph_stats
 from .core.api import available_methods, max_truss
 from .dynamic import DynamicMaxTruss
 from .engine import EngineConfig, ExecutionContext, list_backends
-from .errors import ReproError
+from .errors import GraphFormatError, ReproError
 from .graph.datasets import dataset_names, load_dataset
 from .graph.edgelist import read_edgelist, write_text_edgelist
 from .graph.formats import is_rgr, read_rgr
@@ -40,9 +44,31 @@ def _load_graph(source: str, seed: int) -> Graph:
     """Interpret *source* as a dataset name or a file path."""
     if source in dataset_names():
         return load_dataset(source, seed=seed)
-    if is_rgr(source):
-        return read_rgr(source)
-    return read_edgelist(source)
+    try:
+        if is_rgr(source):
+            return read_rgr(source)
+        return read_edgelist(source)
+    except (UnicodeDecodeError, ValueError) as exc:
+        # Binary garbage fed to the text parser (or vice versa) must be a
+        # one-line typed error at the CLI, never a traceback.
+        raise GraphFormatError(
+            f"{source}: not a recognisable graph file ({exc})"
+        ) from exc
+
+
+@contextlib.contextmanager
+def _maybe_trace(context: ExecutionContext, path: Optional[str]):
+    """Attach a file-backed tracer to *context* when *path* is given."""
+    if not path:
+        yield
+        return
+    from .observability import Tracer, TraceWriter
+
+    with TraceWriter(path) as writer:
+        context.attach_tracer(Tracer(writer.write))
+        yield
+        # The context is closed (finishing the tracer) inside this scope
+        # by the caller; the writer then flushes the final records.
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -91,8 +117,12 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
 def _cmd_compute(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.seed)
     config = _engine_config(args)
-    with ExecutionContext(config) as context:
-        result = max_truss(graph, method=args.method, context=context)
+    context = ExecutionContext(config)
+    with _maybe_trace(context, args.trace):
+        with context:
+            result = max_truss(graph, method=args.method, context=context)
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
     if args.format != "plain":
         from .reporting import render_result
 
@@ -217,6 +247,22 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.seed)
     config = _engine_config(args)
     engine_context = ExecutionContext(config)
+    with _maybe_trace(engine_context, args.trace):
+        try:
+            status = _run_maintain(args, config, engine_context, graph)
+        finally:
+            engine_context.close()
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    return status
+
+
+def _run_maintain(
+    args: argparse.Namespace,
+    config: EngineConfig,
+    engine_context: ExecutionContext,
+    graph: Graph,
+) -> int:
     state = DynamicMaxTruss(graph, context=engine_context)
     print(f"engine: {config.summary()}")
     print(f"initial k_max: {state.k_max}")
@@ -258,7 +304,32 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
             f"{batch.elapsed_seconds * 1e3:.2f}ms"
         )
     print(f"final k_max: {state.k_max} ({state.truss_edge_count()} class edges)")
-    engine_context.close()
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    import json
+
+    from .observability import format_summary, read_trace, summarize_trace
+
+    summary = summarize_trace(read_trace(args.trace), top=args.top)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary, args.format))
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from .observability import diff_traces, format_diff, read_trace
+
+    diff = diff_traces(read_trace(args.a), read_trace(args.b), top=args.top)
+    if args.format == "json":
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(format_diff(diff, args.format))
     return 0
 
 
@@ -302,6 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
     compute.add_argument("--show-edges", action="store_true")
     compute.add_argument("--format", default="plain",
                          choices=["plain", "text", "markdown", "csv"])
+    compute.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a structured trace (spans with exact I/O attribution) "
+             "to FILE; inspect with 'repro trace summary FILE'",
+    )
     _add_engine_flags(compute)
     compute.set_defaults(func=_cmd_compute)
 
@@ -360,8 +436,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="apply the whole stream as one batch (single global recompute)",
     )
     maintain.add_argument("--seed", type=int, default=0)
+    maintain.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a structured trace of the whole update stream to FILE",
+    )
     _add_engine_flags(maintain)
     maintain.set_defaults(func=_cmd_maintain)
+
+    trace = sub.add_parser(
+        "trace", help="summarize or diff recorded trace files"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="top spans by I/O and wall-clock + extent attribution"
+    )
+    trace_summary.add_argument("trace", help="trace file to summarize")
+    trace_summary.add_argument("--top", type=int, default=10)
+    trace_summary.add_argument(
+        "--format", default="text",
+        choices=["text", "markdown", "csv", "json"],
+    )
+    trace_summary.set_defaults(func=_cmd_trace_summary)
+    trace_diff = trace_sub.add_parser(
+        "diff", help="A/B regression hunt between two traces"
+    )
+    trace_diff.add_argument("a", help="baseline trace file")
+    trace_diff.add_argument("b", help="candidate trace file")
+    trace_diff.add_argument("--top", type=int, default=10)
+    trace_diff.add_argument(
+        "--format", default="text",
+        choices=["text", "markdown", "csv", "json"],
+    )
+    trace_diff.set_defaults(func=_cmd_trace_diff)
 
     community = sub.add_parser(
         "community", help="truss community search for query vertices"
@@ -402,7 +508,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    except FileNotFoundError as error:
+    except BrokenPipeError:
+        # stdout piped into a pager/head that exited; not an error of ours.
+        # Point stdout's fd at devnull so the interpreter's shutdown flush
+        # does not raise again, and exit with the conventional 128+SIGPIPE.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        with contextlib.suppress(OSError, ValueError):
+            os.dup2(devnull, sys.stdout.fileno())
+        os.close(devnull)
+        return 141
+    except OSError as error:
+        # Missing files, permission problems, full disks: one line, no
+        # traceback (FileNotFoundError is the common case).
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -37,8 +37,13 @@ import numpy as np
 
 from .._util import WorkBudget
 from ..graph.disk_graph import DiskGraph
+from ..observability.metrics import global_metrics
+from ..observability.tracer import trace_span
 from ..storage import BlockDevice, MemoryMeter
 from ..structures import LHDH, LinearHeap
+
+#: Peel-round widths are edge counts, not latencies — power-of-4 buckets.
+_PEEL_WIDTH_BUCKETS = (0, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
 
 
 class PlainDiskHeap:
@@ -211,17 +216,25 @@ def peel_below(
     ``(support_threshold + 2)``-truss edge set of *subgraph*.
     """
     stats = PeelStats()
-    while len(heap):
-        current_min = heap.min_key()
-        if current_min is None or current_min >= support_threshold:
-            break
-        if budget is not None:
-            budget.spend()
-        eid, key = heap.pop_min()
-        stats.destroyed_triangles += delete_edge_kernel(heap, subgraph, eid, key)
-        heap.after_kernel()
-        stats.removed_edges += 1
-        stats.kernel_calls += 1
+    with trace_span("peel", kind="kernel", threshold=support_threshold):
+        while len(heap):
+            current_min = heap.min_key()
+            if current_min is None or current_min >= support_threshold:
+                break
+            if budget is not None:
+                budget.spend()
+            eid, key = heap.pop_min()
+            stats.destroyed_triangles += delete_edge_kernel(
+                heap, subgraph, eid, key
+            )
+            heap.after_kernel()
+            stats.removed_edges += 1
+            stats.kernel_calls += 1
+    # Round width (edges removed per threshold round) is the knob the
+    # paper's lazy variants optimise; always cheap, always recorded.
+    global_metrics().histogram(
+        "peel.round_width", buckets=_PEEL_WIDTH_BUCKETS
+    ).observe(stats.removed_edges)
     return stats
 
 

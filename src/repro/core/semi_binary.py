@@ -29,6 +29,7 @@ from .._util import Stopwatch, WorkBudget
 from ..engine.context import ContextLike, resolve_context
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph
+from ..observability.tracer import trace_span
 from ..semiexternal.support import (
     SupportScan,
     compute_supports,
@@ -87,10 +88,13 @@ def build_sorted_edge_file(
     scan: SupportScan, memory_elems: int = 1 << 16
 ) -> SortedEdgeFile:
     """External-sort the support file into ``T_edge`` (Alg 1 lines 3–5)."""
-    t_edge = external_argsort_by_key(scan.supports, memory_elems, name="Tedge")
-    histogram = support_histogram(scan, scan.max_support)
-    prefix = prefix_positions(histogram)
-    return SortedEdgeFile(t_edge, prefix, scan.max_support)
+    with trace_span("sort_edge_file", kind="kernel"):
+        t_edge = external_argsort_by_key(
+            scan.supports, memory_elems, name="Tedge"
+        )
+        histogram = support_histogram(scan, scan.max_support)
+        prefix = prefix_positions(histogram)
+        return SortedEdgeFile(t_edge, prefix, scan.max_support)
 
 
 def _probe_subgraph(
@@ -108,21 +112,25 @@ def _probe_subgraph(
     Returns ``(H, node_map, edge_map, heap, h_scan)`` or ``None`` when the
     selection is empty.
     """
-    eids = edge_file.select_at_least(min_support)
-    if len(eids) == 0:
-        return None
-    subgraph, node_map, edge_map = parent.edge_subgraph(eids, name=f"H.{tag}")
-    h_scan = compute_supports(subgraph, name=f"hsup.{tag}")
-    keys = h_scan.supports.to_numpy()  # sequential read feeding the bin sort
-    heap = heap_factory(
-        parent.device,
-        range(subgraph.m),
-        keys,
-        memory=memory,
-        name=f"heap.{tag}",
-        capacity=capacity,
-    )
-    return subgraph, node_map, edge_map, heap, h_scan
+    with trace_span("probe", kind="kernel", tag=tag, min_support=min_support):
+        eids = edge_file.select_at_least(min_support)
+        if len(eids) == 0:
+            return None
+        subgraph, node_map, edge_map = parent.edge_subgraph(
+            eids, name=f"H.{tag}"
+        )
+        h_scan = compute_supports(subgraph, name=f"hsup.{tag}")
+        # sequential read feeding the bin sort
+        keys = h_scan.supports.to_numpy()
+        heap = heap_factory(
+            parent.device,
+            range(subgraph.m),
+            keys,
+            memory=memory,
+            name=f"heap.{tag}",
+            capacity=capacity,
+        )
+        return subgraph, node_map, edge_map, heap, h_scan
 
 
 def _release_probe(probe) -> None:

@@ -42,6 +42,8 @@ import numpy as np
 from ..engine.context import ContextLike
 from ..errors import GraphFormatError
 from ..graph.memgraph import Graph
+from ..observability.metrics import global_metrics
+from ..observability.tracer import trace_span
 from ..storage import BlockDevice
 from .state import DynamicMaxTruss
 
@@ -102,6 +104,17 @@ def save_checkpoint(
     never a torn mixture. *wal_seq* records the last applied WAL sequence
     for the recovery protocol (0 outside the WAL lifecycle).
     """
+    with trace_span("checkpoint.save", kind="device", wal_seq=int(wal_seq)):
+        size = _save_checkpoint_impl(state, path, wal_seq)
+    metrics = global_metrics()
+    metrics.counter("checkpoint.saves").inc()
+    metrics.gauge("checkpoint.bytes").set(size)
+    return size
+
+
+def _save_checkpoint_impl(
+    state: DynamicMaxTruss, path: PathLike, wal_seq: int
+) -> int:
     chunks = [_HEADER.pack(_MAGIC, _VERSION)]
     chunks.append(_pack_ints([
         state.graph.n, state.k_max, state._insertions_since_refresh,
@@ -156,6 +169,15 @@ def load_checkpoint(
     The WAL sequence recorded at save time is exposed as
     ``state.recovered_wal_seq`` (0 for version-1 checkpoints).
     """
+    with trace_span("checkpoint.load", kind="device"):
+        return _load_checkpoint_impl(path, device, context)
+
+
+def _load_checkpoint_impl(
+    path: PathLike,
+    device: Optional[BlockDevice],
+    context: Optional[ContextLike],
+) -> DynamicMaxTruss:
     with open(path, "rb") as handle:
         payload = handle.read()
     if len(payload) < _HEADER.size:

@@ -29,6 +29,7 @@ from ..core.peeling import make_lhdh_heap, peel_below
 from ..engine.context import ContextLike, resolve_context
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph, MutableGraph
+from ..observability.tracer import trace_span
 from ..semiexternal.core_decomp import core_decomposition_inmemory
 from ..semiexternal.support import compute_supports
 from ..storage import BlockDevice
@@ -81,6 +82,11 @@ class DynamicMaxTruss:
         if local_budget is None:
             local_budget = self.context.config.work_limit
         self.local_budget = local_budget
+        with self.context.span("maintain.init", kind="phase",
+                               n=graph.n, m=graph.m):
+            self._initialise(graph)
+
+    def _initialise(self, graph: Graph) -> None:
         self.graph: MutableGraph = graph.to_mutable()
         self.adj_file = AdjacencyFile(
             self.device, graph.degrees.tolist(), name="dyn.G"
@@ -229,14 +235,15 @@ class DynamicMaxTruss:
 
     def refresh_coreness(self) -> np.ndarray:
         """Exact coreness recompute (charged as a full graph-file scan)."""
-        frozen, _ = self.graph.to_graph()
-        for v in range(frozen.n):
-            if frozen.degree(v):
-                self.adj_file.charge_load(v)
-        self._coreness = core_decomposition_inmemory(frozen)
-        self._insertions_since_refresh = 0
-        self.memory.charge("dyn.coreness", self._coreness.nbytes)
-        return self._coreness
+        with trace_span("coreness_refresh", kind="kernel", n=self.graph.n):
+            frozen, _ = self.graph.to_graph()
+            for v in range(frozen.n):
+                if frozen.degree(v):
+                    self.adj_file.charge_load(v)
+            self._coreness = core_decomposition_inmemory(frozen)
+            self._insertions_since_refresh = 0
+            self.memory.charge("dyn.coreness", self._coreness.nbytes)
+            return self._coreness
 
     # ------------------------------------------------------------------ #
     # the global-second tier
@@ -250,6 +257,11 @@ class DynamicMaxTruss:
         *lower_bound* must be a sound lower bound on the new ``k_max``
         (callers pass ``k_max`` for insertions, ``k_max − 1`` for deletions).
         """
+        with trace_span("global_phase", kind="kernel",
+                        lower_bound=lower_bound):
+            self._global_phase_impl(lower_bound)
+
+    def _global_phase_impl(self, lower_bound: int) -> None:
         coreness = self.refresh_coreness()
         frozen, eid_map = self.graph.to_graph()
         dense_to_stable = {dense: stable for stable, dense in eid_map.items()}
@@ -318,20 +330,24 @@ class DynamicMaxTruss:
         """Insert edge ``(u, v)`` and maintain the class (Algorithm 6)."""
         from .insertion import insert_edge
 
-        return insert_edge(self, u, v)
+        with self.context.span("maintain.insert", u=u, v=v):
+            return insert_edge(self, u, v)
 
     def delete(self, u: int, v: int):
         """Delete edge ``(u, v)`` and maintain the class (Algorithm 5)."""
         from .deletion import delete_edge
 
-        return delete_edge(self, u, v)
+        with self.context.span("maintain.delete", u=u, v=v):
+            return delete_edge(self, u, v)
 
     def apply_batch(self, operations):
         """Apply a mixed update batch with at most one global recompute
         (see :func:`repro.dynamic.batch.apply_batch`)."""
         from .batch import apply_batch
 
-        return apply_batch(self, operations)
+        operations = list(operations)
+        with self.context.span("maintain.batch", ops=len(operations)):
+            return apply_batch(self, operations)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -12,7 +12,13 @@ An :class:`ExecutionContext` owns the live half of an
   with :meth:`phase` snapshots for per-phase deltas;
 * **work budgets** minted from ``config.work_limit``;
 * **trace hooks** (``config.trace``) fired at device construction and
-  phase boundaries.
+  phase boundaries;
+* **structured tracing** — :meth:`attach_tracer` binds a
+  :class:`~repro.observability.Tracer` to the context's counters, after
+  which :meth:`phase` / :meth:`span` scopes become spans carrying exact
+  charged-I/O, per-extent and wall-clock deltas. With no tracer attached
+  every tracing path is a no-op branch, so the charged ledger is
+  bit-identical to an untraced run.
 
 Every algorithm entry point accepts ``context=`` (an ``ExecutionContext``
 or a bare ``EngineConfig``); the historical ``device=`` argument still
@@ -66,6 +72,8 @@ class ExecutionContext:
         self.memory = MemoryMeter()
         #: ``(phase_name, IOStats delta)`` records appended by :meth:`phase`.
         self.phase_log: List[Tuple[str, IOStats]] = []
+        #: Structured tracer bound by :meth:`attach_tracer`; ``None`` off.
+        self.tracer = None
 
     @classmethod
     def for_device(cls, device: BlockDevice) -> "ExecutionContext":
@@ -92,6 +100,8 @@ class ExecutionContext:
             self._device = make_device(
                 self.config, num_vertices, stats=self.stats
             )
+            if self.tracer is not None:
+                self._device.enable_touch_counting()
             self.emit(
                 "device",
                 backend=self.config.backend,
@@ -114,10 +124,48 @@ class ExecutionContext:
     # phases and tracing
     # ------------------------------------------------------------------ #
 
+    def attach_tracer(self, tracer) -> "ExecutionContext":
+        """Bind a :class:`~repro.observability.Tracer` to this context.
+
+        Wires the tracer's counter providers to the context's shared
+        :class:`~repro.storage.IOStats` ledger and (lazily-built) device,
+        enables the device's touch tally, and starts the tracer — making
+        it the ambient one, so leaf kernels instrumented with
+        :func:`~repro.observability.trace_span` report here with no
+        parameter threading. :meth:`close` finishes the tracer. Returns
+        ``self`` for chaining.
+        """
+        self.tracer = tracer
+        tracer.bind_providers(
+            stats=lambda: self.stats,
+            extents=lambda: (
+                self._device.io_by_extent() if self._device is not None else {}
+            ),
+            touches=lambda: (
+                self._device.touch_counts_by_extent()
+                if self._device is not None else {}
+            ),
+        )
+        if self._device is not None:
+            self._device.enable_touch_counting()
+        tracer.start(engine=self.config.summary())
+        return self
+
     def emit(self, event: str, **payload) -> None:
         """Fire the config's trace hook (no-op when unset)."""
         if self.config.trace is not None:
             self.config.trace(event, payload)
+        if self.tracer is not None and not self.tracer.finished:
+            self.tracer.event(event, payload)
+
+    @contextlib.contextmanager
+    def span(self, name: str, kind: str = "phase", **attrs) -> Iterator[object]:
+        """A tracer span scope; free no-op when no tracer is attached."""
+        if self.tracer is None or self.tracer.finished:
+            yield None
+            return
+        with self.tracer.span(name, kind, **attrs) as span:
+            yield span
 
     @contextlib.contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -125,7 +173,8 @@ class ExecutionContext:
         before = self.stats.snapshot()
         self.emit("phase_start", name=name)
         try:
-            yield
+            with self.span(name, kind="phase"):
+                yield
         finally:
             delta = self.stats.since(before)
             self.phase_log.append((name, delta))
@@ -147,9 +196,30 @@ class ExecutionContext:
         ``file`` backend additionally fsyncs (per ``config.fsync_policy``)
         and deletes its spill file, so a closed context leaves nothing on
         disk. Safe to call before the device was ever built.
+
+        With a tracer attached, the final flush runs inside a
+        ``close.flush`` span (so write-back I/O stays attributed and
+        top-level span deltas sum exactly to the run totals) and the
+        tracer is finished afterwards.
         """
         if self._device is not None:
-            self._device.close()
+            with self.span("close.flush", kind="device"):
+                self._device.close()
+            touches = self._device.touch_counts_by_extent()
+            if touches:
+                # Touch counting ran (tracer attached): publish the final
+                # per-extent cache hit ratios as registry gauges.
+                from ..observability.metrics import global_metrics
+
+                metrics = global_metrics()
+                for name, (reads, _writes) in self._device.io_by_extent().items():
+                    touched = touches.get(name, 0)
+                    if touched:
+                        metrics.gauge("cache.hit_ratio", extent=name).set(
+                            max(0, touched - reads) / touched
+                        )
+        if self.tracer is not None:
+            self.tracer.finish()
 
     def __enter__(self) -> "ExecutionContext":
         return self

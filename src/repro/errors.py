@@ -59,3 +59,7 @@ class UnknownDatasetError(ReproError, KeyError):
 
 class UnknownMethodError(ReproError, KeyError):
     """An algorithm name passed to a dispatch facade was not recognised."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed as length-framed JSONL records."""

@@ -1,0 +1,60 @@
+"""Observability: structured tracing, metrics, per-phase I/O attribution.
+
+The paper argues in block I/Os *per phase*; this package makes the
+implementation argue the same way. Three zero-dependency pieces:
+
+* :mod:`~repro.observability.tracer` — nested spans (phase → kernel →
+  device op class) carrying exact charged-I/O, per-extent, physical-byte
+  and wall-clock deltas; off by default and provably free via the
+  ambient :func:`trace_span` no-op.
+* :mod:`~repro.observability.metrics` — counters / gauges / histograms
+  (WAL fsync latency, peel-round width, cache hit ratios) snapshotted
+  into reports and ``BENCH_PERF.json``.
+* :mod:`~repro.observability.trace_file` + :mod:`~repro.observability.summary`
+  — the durable length-framed JSONL trace format and the
+  summarize / A/B-diff analyses behind ``repro trace``.
+
+Typical recording session::
+
+    from repro.engine import EngineConfig, ExecutionContext
+    from repro.observability import Tracer, TraceWriter
+
+    with TraceWriter("run.trace") as writer:
+        with ExecutionContext(EngineConfig()) as context:
+            context.attach_tracer(Tracer(writer.write))
+            max_truss(graph, context=context)
+    summary = summarize_trace(read_trace("run.trace"))
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_metrics,
+    pop_metrics,
+    push_metrics,
+)
+from .summary import diff_traces, format_diff, format_summary, summarize_trace
+from .trace_file import TraceWriter, read_trace
+from .tracer import Span, Tracer, active_tracer, trace_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_metrics",
+    "push_metrics",
+    "pop_metrics",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "trace_span",
+    "TraceWriter",
+    "read_trace",
+    "summarize_trace",
+    "diff_traces",
+    "format_summary",
+    "format_diff",
+]

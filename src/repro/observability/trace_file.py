@@ -1,0 +1,143 @@
+"""Length-framed JSONL trace files: durable, appendable, torn-tail safe.
+
+A trace file is a sequence of frames, each::
+
+    <payload byte length, ASCII decimal>\\n
+    <payload: one JSON record>\\n
+
+The explicit length makes the format self-describing for streaming
+readers (no JSON re-parsing to find record boundaries) and — like the
+WAL — lets :func:`read_trace` distinguish a *torn tail* (the process
+died mid-write; every complete record before it is good) from actual
+corruption (bad length prefix, payload that is not JSON, a first record
+that is not a version-1 ``trace_header``), which raises
+:class:`~repro.errors.TraceFormatError`.
+
+:class:`TraceWriter` is the file sink for a
+:class:`~repro.observability.Tracer`: construct one, pass its
+:meth:`~TraceWriter.write` as the tracer's sink, and close it when the
+run ends.
+
+>>> import tempfile, os
+>>> path = os.path.join(tempfile.mkdtemp(), "t.trace")
+>>> with TraceWriter(path) as w:
+...     w.write({"type": "trace_header", "version": 1, "meta": {}})
+...     w.write({"type": "span", "name": "phase"})
+>>> [r["type"] for r in read_trace(path)]
+['trace_header', 'span']
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..errors import TraceFormatError
+from .tracer import TRACE_VERSION
+
+__all__ = ["TraceWriter", "read_trace"]
+
+#: Cap on a single frame's declared payload size; a length prefix above
+#: this is corruption, not a plausible record.
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+class TraceWriter:
+    """Appends length-framed JSON records to a file.
+
+    The file handle is line-buffered through one ``write`` call per frame,
+    so a crash can tear at most the final frame — exactly the case
+    :func:`read_trace` tolerates.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one record as a frame."""
+        payload = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        data = payload.encode("utf-8")
+        self._fh.write(f"{len(data)}\n{payload}\n")
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a trace file into its record dicts.
+
+    Returns every complete record. A torn final frame (truncated length
+    line, short payload, or missing trailing newline after an otherwise
+    valid payload) is dropped silently — it is the expected shape of a
+    crash mid-run. Anything structurally invalid *before* the tail, a
+    non-numeric or implausible length prefix, undecodable JSON in a
+    complete frame, or a first record that is not a version-1
+    ``trace_header`` raises :class:`~repro.errors.TraceFormatError`.
+    """
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc
+    records: List[Dict[str, Any]] = []
+    pos = 0
+    size = len(blob)
+    while pos < size:
+        newline = blob.find(b"\n", pos)
+        if newline == -1:
+            break  # torn tail: partial length line
+        length_line = blob[pos:newline]
+        try:
+            length = int(length_line)
+        except ValueError:
+            raise TraceFormatError(
+                f"{path!r}: bad frame length prefix {length_line[:32]!r} "
+                f"at byte {pos}"
+            ) from None
+        if length < 0 or length > _MAX_FRAME:
+            raise TraceFormatError(
+                f"{path!r}: implausible frame length {length} at byte {pos}"
+            )
+        start = newline + 1
+        end = start + length
+        if end + 1 > size:
+            break  # torn tail: payload (or its newline) incomplete
+        payload = blob[start:end]
+        if blob[end:end + 1] != b"\n":
+            raise TraceFormatError(
+                f"{path!r}: frame at byte {pos} not newline-terminated"
+            )
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TraceFormatError(
+                f"{path!r}: frame at byte {pos} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise TraceFormatError(
+                f"{path!r}: frame at byte {pos} is not a JSON object"
+            )
+        records.append(record)
+        pos = end + 1
+    if records:
+        head = records[0]
+        if head.get("type") != "trace_header":
+            raise TraceFormatError(
+                f"{path!r}: first record is {head.get('type')!r}, "
+                f"expected 'trace_header'"
+            )
+        if head.get("version") != TRACE_VERSION:
+            raise TraceFormatError(
+                f"{path!r}: unsupported trace version {head.get('version')!r}"
+            )
+    return records

@@ -36,6 +36,7 @@ from ..dynamic.state import DynamicMaxTruss
 from ..engine.context import ContextLike
 from ..errors import GraphFormatError
 from ..graph.memgraph import Graph
+from ..observability.tracer import trace_span
 from ..storage import BlockDevice
 from .wal import WriteAheadLog, repair_wal
 
@@ -138,16 +139,18 @@ class DurableMaintenance:
 
     def insert(self, u: int, v: int):
         """Durably insert edge ``(u, v)``: log first, then apply."""
-        self.applied_seq = self.wal.append("insert", [(u, v)])
-        result = self.state.insert(u, v)
-        self._after_apply(1)
+        with self.state.context.span("durable.insert", kind="op", u=u, v=v):
+            self.applied_seq = self.wal.append("insert", [(u, v)])
+            result = self.state.insert(u, v)
+            self._after_apply(1)
         return result
 
     def delete(self, u: int, v: int):
         """Durably delete edge ``(u, v)``: log first, then apply."""
-        self.applied_seq = self.wal.append("delete", [(u, v)])
-        result = self.state.delete(u, v)
-        self._after_apply(1)
+        with self.state.context.span("durable.delete", kind="op", u=u, v=v):
+            self.applied_seq = self.wal.append("delete", [(u, v)])
+            result = self.state.delete(u, v)
+            self._after_apply(1)
         return result
 
     def apply(self, operations: Sequence[BatchOp]):
@@ -161,10 +164,12 @@ class DurableMaintenance:
         operations = list(operations)
         if not operations:
             return None
-        for op, edges in _runs(operations):
-            self.applied_seq = self.wal.append(op, edges)
-        result = self.state.apply_batch(operations)
-        self._after_apply(len(operations))
+        with self.state.context.span("durable.apply", kind="op",
+                                     ops=len(operations)):
+            for op, edges in _runs(operations):
+                self.applied_seq = self.wal.append(op, edges)
+            result = self.state.apply_batch(operations)
+            self._after_apply(len(operations))
         return result
 
     def _after_apply(self, ops: int) -> None:
@@ -187,11 +192,12 @@ class DurableMaintenance:
         the new checkpoint's ``wal_seq`` makes replay skip the stale
         records.
         """
-        size = save_checkpoint(
-            self.state, self.checkpoint_path, wal_seq=self.applied_seq
-        )
-        self.wal.reset()
-        self._ops_since_checkpoint = 0
+        with self.state.context.span("durable.checkpoint", kind="op"):
+            size = save_checkpoint(
+                self.state, self.checkpoint_path, wal_seq=self.applied_seq
+            )
+            self.wal.reset()
+            self._ops_since_checkpoint = 0
         return size
 
     def close(self, checkpoint: bool = False) -> None:
@@ -246,7 +252,9 @@ class DurableMaintenance:
             replayed_records += 1
             replay.extend((record.op, u, v) for u, v in record.edges)
         if replay:
-            state.apply_batch(replay)
+            with trace_span("recovery.replay", kind="op",
+                            records=replayed_records, ops=len(replay)):
+                state.apply_batch(replay)
         state.recovered_wal_seq = max(
             checkpoint_seq, records[-1].seq if records else 0
         )

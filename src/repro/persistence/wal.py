@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Tuple, Union
 
 from ..errors import GraphFormatError
+from ..observability.metrics import global_metrics
 
 PathLike = Union[str, Path]
 EdgePair = Tuple[int, int]
@@ -139,8 +141,14 @@ class WriteAheadLog:
 
     def _maybe_sync(self) -> None:
         if self.sync:
+            start = time.perf_counter()
             self._ops.fsync(self._fd)
             self.fsyncs += 1
+            # fsync is the durability tax of the log-then-apply contract;
+            # its latency distribution is the metric a deployment watches.
+            global_metrics().histogram("wal.fsync_seconds").observe(
+                time.perf_counter() - start
+            )
 
     def append(self, op: str, edges: Iterable[EdgePair]) -> int:
         """Frame and append one batch; returns its sequence number.
@@ -157,6 +165,9 @@ class WriteAheadLog:
         self._ops.write(self._fd, frame)
         self._maybe_sync()
         self.next_seq = seq + 1
+        metrics = global_metrics()
+        metrics.counter("wal.appends").inc()
+        metrics.counter("wal.bytes_appended").inc(len(frame))
         return seq
 
     def reset(self) -> None:

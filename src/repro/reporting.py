@@ -104,6 +104,39 @@ def render_comparison(results: Iterable[MaxTrussResult], fmt: str = "text") -> s
     return render_table(header, rows, fmt)
 
 
+def render_metrics(snapshot: dict, fmt: str = "text") -> str:
+    """A :meth:`~repro.observability.MetricsRegistry.snapshot` as tables.
+
+    Operates on the plain snapshot dict (``counters`` / ``gauges`` /
+    ``histograms``), so callers can render metrics shipped inside a JSON
+    report without constructing registry objects.
+    """
+    blocks = []
+    rows = [(name, value) for name, value in snapshot.get("counters", {}).items()]
+    rows += [
+        (name, f"{value:.4g}")
+        for name, value in snapshot.get("gauges", {}).items()
+    ]
+    if rows:
+        blocks.append(render_table(("metric", "value"), rows, fmt))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        hist_rows = [
+            (
+                name,
+                payload["count"],
+                f"{payload['mean']:.4g}",
+                f"{payload['max']:.4g}",
+                f"{payload['sum']:.4g}",
+            )
+            for name, payload in histograms.items()
+        ]
+        blocks.append(render_table(
+            ("histogram", "count", "mean", "max", "sum"), hist_rows, fmt
+        ))
+    return "\n".join(blocks) if blocks else "no metrics recorded"
+
+
 def render_maintenance_log(
     results: Iterable[MaintenanceResult], fmt: str = "text"
 ) -> str:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.disk_graph import DiskGraph
+from ..observability.tracer import trace_span
 from ..storage import DiskArray
 
 
@@ -53,6 +54,12 @@ def compute_supports(disk_graph: DiskGraph, name: str = "sup") -> SupportScan:
     Memory use is ``O(n)`` (one marker array); every adjacency load and every
     support write is charged to the graph's block device.
     """
+    with trace_span("support_scan", kind="kernel",
+                    n=disk_graph.n, m=disk_graph.m, array=name):
+        return _compute_supports_impl(disk_graph, name)
+
+
+def _compute_supports_impl(disk_graph: DiskGraph, name: str) -> SupportScan:
     n, m = disk_graph.n, disk_graph.m
     supports = DiskArray(disk_graph.device, m, np.int64, name=name)
     memory_tag = f"{name}.marker"

@@ -84,6 +84,11 @@ class BlockDevice:
         self._cache = make_cache(policy, cache_blocks)
         # per-extent-name [read_ios, write_ios] breakdown
         self._extent_io: Dict[str, list] = {}
+        # Optional per-extent-name block-touch tally for cache attribution
+        # (a touch that charged no read was a hit). ``None`` — the default —
+        # keeps every hot path on its historical branch: tracing cannot
+        # perturb the charged ledger unless explicitly enabled.
+        self._touch_counts: Dict[str, int] = None
 
     @classmethod
     def for_semi_external(
@@ -175,6 +180,28 @@ class BlockDevice:
         last = (offset + nbytes - 1) // self.block_size
         return range(first, last + 1)
 
+    def enable_touch_counting(self) -> None:
+        """Start tallying block touches per extent (tracer attribution).
+
+        Touches are app-level block accesses: every block visited by a
+        ``touch_read`` / ``touch_write`` (batch forms count the expanded
+        per-block sequence, i.e. exactly what the scalar loop would
+        visit) and every block of an ``append_write``. Combined with the
+        charged read count, they attribute the cache: *misses* are the
+        charged reads, *hits* are the touches that charged nothing.
+        Counting never feeds back into the charged ledger.
+        """
+        if self._touch_counts is None:
+            self._touch_counts = {}
+
+    def touch_counts_by_extent(self) -> Dict[str, int]:
+        """Snapshot of the per-extent touch tally (empty when disabled)."""
+        return dict(self._touch_counts) if self._touch_counts is not None else {}
+
+    def _bump_touches(self, extent: int, count: int) -> None:
+        name = self._extent_names.get(extent, "?")
+        self._touch_counts[name] = self._touch_counts.get(name, 0) + count
+
     def _charge_read(self, extent: int) -> None:
         self.stats.read_ios += 1
         self.stats.bytes_read += self.block_size
@@ -243,7 +270,10 @@ class BlockDevice:
 
     def touch_read(self, extent: int, offset: int, nbytes: int) -> None:
         """Charge the I/O for reading *nbytes* at *offset* of *extent*."""
-        for block in self._block_range(extent, offset, nbytes):
+        blocks = self._block_range(extent, offset, nbytes)
+        if self._touch_counts is not None and len(blocks):
+            self._bump_touches(extent, len(blocks))
+        for block in blocks:
             self._touch_block((extent, block), write=False)
 
     def touch_write(self, extent: int, offset: int, nbytes: int) -> None:
@@ -254,7 +284,10 @@ class BlockDevice:
         no read is charged.
         """
         block_size = self.block_size
-        for block in self._block_range(extent, offset, nbytes):
+        blocks = self._block_range(extent, offset, nbytes)
+        if self._touch_counts is not None and len(blocks):
+            self._bump_touches(extent, len(blocks))
+        for block in blocks:
             key = (extent, block)
             block_start = block * block_size
             covers_block = offset <= block_start and offset + nbytes >= block_start + block_size
@@ -349,6 +382,10 @@ class BlockDevice:
             )
         # Run compression: collapse consecutive duplicate blocks.
         num_blocks = len(blocks)
+        if self._touch_counts is not None:
+            # Tally the expanded per-block sequence — identical to what
+            # the equivalent scalar loop would have counted.
+            self._bump_touches(extent, num_blocks)
         need_repeats = self._cache.needs_repeats
         if num_blocks > 1:
             run_start_mask = np.empty(num_blocks, dtype=bool)
@@ -448,7 +485,10 @@ class BlockDevice:
 
     def append_write(self, extent: int, offset: int, nbytes: int) -> None:
         """Charge sequential append-style writes (no read-before-write)."""
-        for block in self._block_range(extent, offset, nbytes):
+        blocks = self._block_range(extent, offset, nbytes)
+        if self._touch_counts is not None and len(blocks):
+            self._bump_touches(extent, len(blocks))
+        for block in blocks:
             key = (extent, block)
             self._cache.discard(key)
             self._insert_block(key, dirty=True)

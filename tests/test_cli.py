@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -141,6 +143,157 @@ class TestDecompose:
         out = capsys.readouterr().out.strip().splitlines()
         assert len(out) == 16  # header + 15 edges
         assert all(line.split()[-1] == "4" for line in out[1:])
+
+
+class TestErrorPaths:
+    """Every bad input exits non-zero with one stderr line, no traceback."""
+
+    def assert_one_line_error(self, capsys):
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_missing_input_file(self, capsys):
+        assert main(["compute", "/no/such/file"]) == 1
+        self.assert_one_line_error(capsys)
+
+    def test_binary_garbage_input(self, tmp_path, capsys):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(bytes(range(256)) * 4)
+        assert main(["compute", str(path)]) == 1
+        self.assert_one_line_error(capsys)
+
+    def test_text_garbage_input(self, tmp_path, capsys):
+        path = tmp_path / "garbage.txt"
+        path.write_text("zero one\ntwo three four\n")
+        assert main(["compute", str(path)]) == 1
+        self.assert_one_line_error(capsys)
+
+    def test_maintain_missing_updates_file(self, example_file, capsys):
+        assert main(
+            ["maintain", example_file, "--updates", "/no/such/stream"]
+        ) == 1
+        self.assert_one_line_error(capsys)
+
+    def test_broken_pipe_exits_quietly(self, example_file, monkeypatch, capsys):
+        # `repro ... | head` closing stdout early is not our error: no
+        # stderr line, no traceback, the conventional 128+SIGPIPE status.
+        import repro.cli as cli
+
+        def explode(args):
+            raise BrokenPipeError(32, "Broken pipe")
+
+        monkeypatch.setattr(cli, "_cmd_stats", explode)
+        assert main(["stats", example_file]) == 141
+        assert capsys.readouterr().err == ""
+
+    def test_unknown_backend_rejected_by_parser(self, example_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["compute", example_file, "--backend", "holographic"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_bad_fsync_policy_rejected_by_parser(self, example_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["compute", example_file, "--fsync", "sometimes"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestTrace:
+    @pytest.fixture
+    def trace_file(self, example_file, tmp_path, capsys):
+        path = tmp_path / "run.trace"
+        assert main(["compute", example_file, "--trace", str(path),
+                     "--block-size", "64", "--cache-blocks", "32"]) == 0
+        assert "trace written" in capsys.readouterr().err
+        return str(path)
+
+    def test_summary_text(self, trace_file, capsys):
+        assert main(["trace", "summary", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "run totals:" in out
+        assert "per-extent attribution:" in out
+        assert "support_scan" in out
+
+    def test_summary_json_attribution_is_exact(self, trace_file, capsys):
+        assert main(["trace", "summary", trace_file, "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["attributed_io"]["read_ios"] == \
+            summary["totals"]["io"]["read_ios"]
+        assert summary["attributed_io"]["write_ios"] == \
+            summary["totals"]["io"]["write_ios"]
+
+    def test_maintain_records_a_trace(self, example_file, tmp_path, capsys):
+        updates = tmp_path / "updates.txt"
+        updates.write_text("+0 4\n-0 4\n")
+        path = tmp_path / "maintain.trace"
+        assert main(["maintain", example_file, "--updates", str(updates),
+                     "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "maintain.insert" in out
+        assert "maintain.delete" in out
+
+    def test_diff_localises_an_injected_regression(
+        self, trace_file, tmp_path, capsys
+    ):
+        """ISSUE acceptance: a synthetic +5000-read regression injected
+        into one kernel of a fixture pair is the diff's top span."""
+        from repro.observability import TraceWriter, read_trace
+
+        records = [json.loads(json.dumps(r)) for r in read_trace(trace_file)]
+        victim = next(r for r in records
+                      if r.get("type") == "span" and r["name"] == "support_scan")
+        # a real kernel regression grows the kernel's own delta AND every
+        # ancestor's inclusive delta (ancestor *self* cost is unchanged)
+        spans_by_id = {r["id"]: r for r in records if r.get("type") == "span"}
+        node = victim
+        while node is not None:
+            node["io"]["read_ios"] += 5000
+            node["by_extent"].setdefault("G.adj", [0, 0])[0] += 5000
+            node = spans_by_id.get(node["parent"])
+        tail = next(r for r in records if r.get("type") == "trace_end")
+        tail["totals"]["io"]["read_ios"] += 5000
+        tail["totals"]["by_extent"]["G.adj"][0] += 5000
+        regressed = str(tmp_path / "regressed.trace")
+        with TraceWriter(regressed) as writer:
+            for record in records:
+                writer.write(record)
+        assert main(["trace", "diff", trace_file, regressed,
+                     "--format", "json"]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        worst = diff["spans"][0]
+        assert worst["name"] == "support_scan"
+        assert worst["delta_ios"] == 5000
+        assert diff["extents"][0]["extent"] == "G.adj"
+        assert diff["extents"][0]["delta_read_ios"] == 5000
+        assert diff["totals"]["read_ios"] == 5000
+        # and the human rendering names the culprit on top
+        assert main(["trace", "diff", trace_file, regressed]) == 0
+        text = capsys.readouterr().out
+        assert "+5000" in text
+        first_row = text.split("span deltas")[1].splitlines()[3]
+        assert "support_scan" in first_row
+
+    def test_diff_of_identical_traces_is_quiet(self, trace_file, capsys):
+        assert main(["trace", "diff", trace_file, trace_file,
+                     "--format", "json"]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert all(row["delta_ios"] == 0 for row in diff["spans"])
+        assert diff["extents"] == []
+
+    def test_summary_of_corrupt_trace_is_a_typed_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.trace"
+        path.write_bytes(b"not a trace\n")
+        assert main(["trace", "summary", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
 
 
 class TestHierarchy:

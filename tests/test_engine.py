@@ -31,6 +31,8 @@ from repro.engine import (
 from repro.errors import DeviceError, WorkLimitExceeded
 from repro.graph.disk_graph import DiskGraph
 from repro.graph.generators import barabasi_albert, gnm_random, paper_example_graph
+from repro.observability import Tracer, summarize_trace
+from repro.observability.metrics import global_metrics, pop_metrics, push_metrics
 from repro.semiexternal.support import compute_supports
 from repro.storage import (
     BlockDevice,
@@ -315,3 +317,115 @@ class TestEnsureDevice:
         assert ensure_device(None) is None
         with pytest.raises(DeviceError):
             ensure_device(42)
+
+
+# --------------------------------------------------------------------- #
+# observability: tracing is provably free when off, exact when on
+# --------------------------------------------------------------------- #
+
+
+def _run_traced(graph, backend, method):
+    """One traced run: returns (result, closed context, tracer records)."""
+    tracer = Tracer()
+    context = ExecutionContext(
+        EngineConfig(backend=backend, block_size=64, cache_blocks=32)
+    ).attach_tracer(tracer)
+    with context:
+        result = max_truss(graph, method=method, context=context)
+    return result, context, tracer.records
+
+
+class TestTracingGuards:
+    """ISSUE PR-5 acceptance: off = bit-identical, on = exactly attributed."""
+
+    def test_touch_counting_is_off_by_default(self):
+        context = ExecutionContext(EngineConfig(block_size=64, cache_blocks=16))
+        device = context.device_for(50)
+        assert device.touch_counts_by_extent() == {}
+        max_truss(gnm_random(30, 100, seed=2), method="semi-binary",
+                  context=context)
+        assert device.touch_counts_by_extent() == {}  # still no tally
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("method", sorted(available_methods()))
+    def test_tracer_never_perturbs_the_charged_ledger(
+        self, example, backend, method
+    ):
+        """Charged IOStats and per-extent bills are bit-identical with a
+        tracer attached and without one, for every backend x method."""
+        plain_context = ExecutionContext(
+            EngineConfig(backend=backend, block_size=64, cache_blocks=32)
+        )
+        with plain_context:
+            plain = max_truss(example, method=method, context=plain_context)
+        plain_extents = (
+            plain_context.device.io_by_extent()
+            if plain_context.device is not None else {}
+        )
+        traced, traced_context, _records = _run_traced(example, backend, method)
+        assert traced.k_max == plain.k_max
+        assert traced_context.stats.read_ios == plain_context.stats.read_ios
+        assert traced_context.stats.write_ios == plain_context.stats.write_ios
+        assert traced_context.stats.bytes_read == plain_context.stats.bytes_read
+        assert (
+            traced_context.stats.bytes_written
+            == plain_context.stats.bytes_written
+        )
+        traced_extents = (
+            traced_context.device.io_by_extent()
+            if traced_context.device is not None else {}
+        )
+        assert traced_extents == plain_extents
+
+    @pytest.mark.parametrize("method", SEMI_METHODS)
+    def test_top_level_span_deltas_sum_exactly_to_run_totals(self, method):
+        graph = barabasi_albert(80, attach=4, seed=3)
+        _result, _context, records = _run_traced(graph, "simulated", method)
+        summary = summarize_trace(records)
+        totals = summary["totals"]["io"]
+        assert summary["attributed_io"]["read_ios"] == totals["read_ios"]
+        assert summary["attributed_io"]["write_ios"] == totals["write_ios"]
+        assert totals["read_ios"] > 0  # the run actually charged I/O
+
+    def test_maintenance_spans_sum_exactly_to_run_totals(self, example):
+        tracer = Tracer()
+        context = ExecutionContext(
+            EngineConfig(block_size=64, cache_blocks=32)
+        ).attach_tracer(tracer)
+        state = DynamicMaxTruss(example, context=context)
+        state.insert(0, 4)
+        state.delete(0, 4)
+        context.close()
+        summary = summarize_trace(tracer.records)
+        totals = summary["totals"]["io"]
+        assert summary["attributed_io"]["read_ios"] == totals["read_ios"]
+        assert summary["attributed_io"]["write_ios"] == totals["write_ios"]
+        names = {r["name"] for r in tracer.records if r["type"] == "span"}
+        assert {"maintain.init", "maintain.insert", "maintain.delete"} <= names
+
+    def test_traced_run_attributes_known_kernels(self, example):
+        _result, _context, records = _run_traced(
+            example, "simulated", "semi-binary"
+        )
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"semi-binary", "support_scan", "close.flush"} <= names
+        # spans nest: every kernel hangs off some parent span
+        spans = {r["id"]: r for r in records if r["type"] == "span"}
+        kernels = [r for r in spans.values() if r["kind"] == "kernel"]
+        assert kernels and all(r["parent"] in spans for r in kernels)
+
+    def test_traced_run_reports_cache_hits(self):
+        graph = barabasi_albert(80, attach=4, seed=3)
+        push_metrics()
+        try:
+            _result, _context, records = _run_traced(
+                graph, "simulated", "semi-binary"
+            )
+            gauges = global_metrics().snapshot()["gauges"]
+        finally:
+            pop_metrics()
+        summary = summarize_trace(records)
+        assert summary["extents"], "per-extent attribution missing"
+        adj = next(e for e in summary["extents"] if e["extent"] == "G.adj")
+        assert adj["touches"] >= adj["read_ios"]
+        assert any(name.startswith("cache.hit_ratio") for name in gauges)
