@@ -38,6 +38,13 @@ Sections
     section records the wall-clock overhead factor plus the physical
     bytes moved, so a change that silently inflates the real-I/O cost of
     the file backend shows up as a diff.
+``parallel``
+    Speedup-vs-workers (1/2/4) for the sharded kernels: the support scan
+    and a full semi-binary run, serial vs ``EngineConfig(workers=...)``.
+    Every parallel run must produce bit-identical values and charge a
+    bit-identical merged I/O bill (total + per-extent) — asserted, the
+    ledger-merge contract — and the full-scale scan must reach
+    ``PARALLEL_SPEEDUP_THRESHOLD`` at the top worker count.
 
 Run standalone (not collected by the tier-1 suite)::
 
@@ -73,6 +80,9 @@ from repro.semiexternal.support import compute_supports, compute_supports_refere
 from repro.storage import BlockDevice, MemoryMeter, ReferenceBlockDevice
 
 SPEEDUP_THRESHOLD = 3.0
+
+#: Full-mode acceptance bar for the sharded support scan at 4 workers.
+PARALLEL_SPEEDUP_THRESHOLD = 1.8
 
 #: Default dataset scale for the support-scan microbenchmark: dense enough
 #: that batches amortise the vectorization overhead (average degree ~600),
@@ -353,6 +363,130 @@ def bench_maintenance(graph, ops: int, config: EngineConfig) -> dict:
     }
 
 
+def _parallel_scan_once(graph, context) -> tuple:
+    """One ``compute_supports`` under the context's parallel scope."""
+    device = context.device_for(graph.n)
+    disk_graph = DiskGraph(graph, device, context.memory, name="G")
+    baseline = device.stats.snapshot()
+    with context.parallel_kernels():
+        start = time.perf_counter()
+        scan = compute_supports(disk_graph)
+        elapsed = time.perf_counter() - start
+    values = scan.supports.to_numpy()
+    scan.supports.free()
+    return elapsed, values, device.stats.since(baseline), device.io_by_extent()
+
+
+def bench_parallel(scan_graph, decomp_graph, reps: int, smoke: bool) -> dict:
+    """Speedup-vs-workers for the sharded kernels, equivalence asserted.
+
+    The support scan (the paper's dominant phase, and the acceptance
+    criterion: >= ``PARALLEL_SPEEDUP_THRESHOLD`` at 4 workers in full
+    mode) and a full semi-binary decomposition run serially and at 1/2/4
+    workers. Every parallel run must produce bit-identical values AND
+    charge a bit-identical merged bill (total ``IOStats`` + per-extent) —
+    the ledger-merge contract of docs/io_model.md — so the only number
+    allowed to move in this section is wall-clock. Worker pools are kept
+    warm across reps (best-of-reps = steady state; spawn cost is paid by
+    rep one only).
+    """
+    worker_counts = (1, 2) if smoke else (1, 2, 4)
+
+    # ---- sharded support scan vs serial ------------------------------ #
+    serial_s = None
+    serial_values = serial_stats = serial_extent = None
+    scan_rows = {}
+    for workers in (0,) + worker_counts:
+        times = []
+        context = ExecutionContext(
+            EngineConfig(workers=workers, parallel_threshold=1).validate()
+        )
+        try:
+            for _ in range(reps):
+                elapsed, values, stats, by_extent = _parallel_scan_once(
+                    scan_graph, context
+                )
+                times.append(elapsed)
+        finally:
+            context.close()
+        best = min(times)
+        if workers == 0:
+            serial_s = best
+            serial_values, serial_stats, serial_extent = values, stats, by_extent
+            continue
+        if (
+            not np.array_equal(values, serial_values)
+            or stats != serial_stats
+            or by_extent != serial_extent
+        ):
+            raise AssertionError(
+                f"parallel support scan ({workers} workers) diverged from "
+                f"serial: {stats} vs {serial_stats}"
+            )
+        scan_rows[str(workers)] = {
+            "seconds": round(best, 4),
+            "speedup": round(serial_s / best, 2) if best > 0 else None,
+        }
+
+    # ---- full semi-binary vs serial ---------------------------------- #
+    decomp_rows = {}
+    serial_result = None
+    serial_decomp_s = None
+    for workers in (0,) + worker_counts:
+        context = ExecutionContext(
+            EngineConfig(workers=workers, parallel_threshold=1).validate()
+        )
+        try:
+            start = time.perf_counter()
+            result = max_truss(decomp_graph, method="semi-binary", context=context)
+            elapsed = time.perf_counter() - start
+            by_extent = context.device.io_by_extent()
+        finally:
+            context.close()
+        if workers == 0:
+            serial_result = (result, by_extent)
+            serial_decomp_s = elapsed
+            continue
+        base, base_extent = serial_result
+        if (
+            result.k_max != base.k_max
+            or sorted(result.truss_edges) != sorted(base.truss_edges)
+            or result.io != base.io
+            or by_extent != base_extent
+        ):
+            raise AssertionError(
+                f"parallel semi-binary ({workers} workers) diverged from serial"
+            )
+        decomp_rows[str(workers)] = {
+            "seconds": round(elapsed, 4),
+            "speedup": (
+                round(serial_decomp_s / elapsed, 2) if elapsed > 0 else None
+            ),
+        }
+
+    top_workers = str(worker_counts[-1])
+    top_speedup = scan_rows[top_workers]["speedup"]
+    return {
+        "scan_graph": {"n": scan_graph.n, "m": scan_graph.m},
+        "decomp_graph": {"n": decomp_graph.n, "m": decomp_graph.m},
+        "reps": reps,
+        "worker_counts": list(worker_counts),
+        "support_scan": {
+            "serial_s": round(serial_s, 4),
+            "workers": scan_rows,
+        },
+        "semi_binary": {
+            "serial_s": round(serial_decomp_s, 4),
+            "workers": decomp_rows,
+        },
+        "total_ios": serial_stats.total_ios,
+        "k_max": serial_result[0].k_max,
+        "threshold": PARALLEL_SPEEDUP_THRESHOLD,
+        "speedup_at_max_workers": top_speedup,
+        "passed": bool(smoke or top_speedup >= PARALLEL_SPEEDUP_THRESHOLD),
+    }
+
+
 def run(smoke: bool) -> dict:
     scan_cfg = SMOKE_SCAN_GRAPH if smoke else FULL_SCAN_GRAPH
     reps = 1 if smoke else 3
@@ -385,6 +519,9 @@ def run(smoke: bool) -> dict:
 
     observability = bench_observability(decomp_graph, config)
 
+    parallel = bench_parallel(scan_graph, decomp_graph, reps, smoke)
+    parallel["engine_config"] = config.describe()
+
     return {
         "schema": 1,
         "mode": "smoke" if smoke else "full",
@@ -399,6 +536,7 @@ def run(smoke: bool) -> dict:
             "decomposition": decomposition,
             "maintenance": maintenance,
             "observability": observability,
+            "parallel": parallel,
         },
     }
 
@@ -447,7 +585,20 @@ def main(argv=None) -> int:
         f"{observability['overhead_x']}x overhead, "
         f"{observability['span_count']} spans, charged bill identical"
     )
-    return 0 if accounting["passed"] else 1
+    parallel = report["benchmarks"]["parallel"]
+    scan_rows = parallel["support_scan"]["workers"]
+    print(
+        "parallel support scan: serial "
+        f"{parallel['support_scan']['serial_s']}s, "
+        + ", ".join(
+            f"{w}w {row['seconds']}s ({row['speedup']}x)"
+            for w, row in scan_rows.items()
+        )
+        + f" (threshold {parallel['threshold']}x at max workers, "
+        f"{'pass' if parallel['passed'] else 'FAIL'}; "
+        "merged bill bit-identical)"
+    )
+    return 0 if accounting["passed"] and parallel["passed"] else 1
 
 
 if __name__ == "__main__":

@@ -100,6 +100,11 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--fsync", default="close", choices=_FSYNC_POLICIES,
         help="fsync policy for --backend file",
     )
+    group.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes for the sharded kernels (0/1: serial; "
+             "the charged I/O bill is identical either way)",
+    )
 
 
 def _engine_config(args: argparse.Namespace) -> EngineConfig:
@@ -111,6 +116,7 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         cache_policy=args.cache_policy,
         data_dir=args.data_dir,
         fsync_policy=args.fsync,
+        workers=args.workers,
     ).validate()
 
 

@@ -7,9 +7,18 @@ triangle with it* (Alg 1 lines 11–18, Alg 2 lines 15–22, Alg 4).
 
 The kernel here is written once against a duck-typed **peel-heap protocol**:
 
-``__len__``, ``min_key()``, ``pop_min()``, ``key_if_alive(eid)``,
-``decrement_edge(eid, level)``, ``after_kernel()``, ``live_items()``,
-``release()``
+``__len__``, ``min_key()``, ``pop_min()``, ``collect_min_class()``,
+``pop_edge(eid)``, ``key_if_alive(eid)``, ``decrement_edge(eid, level)``,
+``after_kernel()``, ``live_items()``, ``release()``
+
+:func:`peel_below` drains the heap in *waves*: one wave is the entire
+minimum support class, processed in ascending edge-id order. Because a
+decrement never moves a key at-or-below the wave's level, wave membership
+is fixed at collection time — which makes the peel order fully
+deterministic (independent of heap insertion history) and lets the wave's
+triangle-partner tables be precomputed in parallel
+(:mod:`repro.parallel.peel`) while the parent keeps every heap mutation
+and every charged I/O to itself.
 
 Two implementations exist:
 
@@ -36,6 +45,7 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 from .._util import WorkBudget
+from ..errors import HeapEmptyError
 from ..graph.disk_graph import DiskGraph
 from ..observability.metrics import global_metrics
 from ..observability.tracer import trace_span
@@ -72,6 +82,18 @@ class PlainDiskHeap:
 
     def pop_min(self) -> Tuple[int, int]:
         return self.lheap.pop_min()
+
+    def collect_min_class(self) -> Tuple[int, List[int]]:
+        """The minimum key and its full support class in ascending edge-id
+        order (one peel *wave*; charged bucket walk)."""
+        key = self.lheap.min_key()
+        if key is None:
+            raise HeapEmptyError("collect_min_class() on empty heap")
+        return key, sorted(self.lheap.iter_bucket(key))
+
+    def pop_edge(self, eid: int) -> int:
+        """Remove a specific (alive) edge; returns its key."""
+        return self.lheap.remove(eid)
 
     def key_if_alive(self, eid: int) -> Optional[int]:
         if not self.lheap.contains(eid):
@@ -149,6 +171,31 @@ class PeelStats:
         self.kernel_calls += other.kernel_calls
 
 
+def _apply_triangle_updates(heap, f_ids, g_ids, level: int) -> int:
+    """Probe/decrement the aligned triangle partners of one popped edge.
+
+    Batched round: all triangle partners of the popped edge are distinct
+    (``f_i = (u, w_i)``, ``g_i = (v, w_i)`` with ``w_i != u, v``), so
+    probing them together — and decrementing with the probed keys — is
+    exactly equivalent to the interleaved scalar loop. Returns the number
+    of still-alive triangles destroyed.
+    """
+    f_keys = heap.probe_keys(f_ids)
+    g_keys = heap.probe_keys(g_ids)
+    alive = (f_keys >= 0) & (g_keys >= 0)
+    destroyed = int(np.count_nonzero(alive))
+    if destroyed:
+        positions = np.flatnonzero(alive)
+        pair_eids = np.stack([f_ids[positions], g_ids[positions]], axis=1)
+        pair_keys = np.stack([f_keys[positions], g_keys[positions]], axis=1)
+        above = pair_keys > level
+        if above.any():
+            # Row-major flattening keeps the scalar order: f then g,
+            # triangle by triangle.
+            heap.decrement_edges(pair_eids[above], pair_keys[above], level)
+    return destroyed
+
+
 def delete_edge_kernel(heap, subgraph: DiskGraph, eid: int, level: int) -> int:
     """Process the triangles of a just-popped edge (Algorithm 4 core).
 
@@ -165,26 +212,9 @@ def delete_edge_kernel(heap, subgraph: DiskGraph, eid: int, level: int) -> int:
     if len(common) == 0:
         return 0
     if hasattr(heap, "probe_keys"):
-        # Batched round: all triangle partners of the popped edge are
-        # distinct (f_i = (u, w_i), g_i = (v, w_i) with w_i != u, v), so
-        # probing them together — and decrementing with the probed keys —
-        # is exactly equivalent to the interleaved scalar loop.
-        f_ids = eids_u[index_u]
-        g_ids = eids_v[index_v]
-        f_keys = heap.probe_keys(f_ids)
-        g_keys = heap.probe_keys(g_ids)
-        alive = (f_keys >= 0) & (g_keys >= 0)
-        destroyed = int(np.count_nonzero(alive))
-        if destroyed:
-            positions = np.flatnonzero(alive)
-            pair_eids = np.stack([f_ids[positions], g_ids[positions]], axis=1)
-            pair_keys = np.stack([f_keys[positions], g_keys[positions]], axis=1)
-            above = pair_keys > level
-            if above.any():
-                # Row-major flattening keeps the scalar order: f then g,
-                # triangle by triangle.
-                heap.decrement_edges(pair_eids[above], pair_keys[above], level)
-        return destroyed
+        return _apply_triangle_updates(
+            heap, eids_u[index_u], eids_v[index_v], level
+        )
     destroyed = 0
     for position in range(len(common)):
         f = int(eids_u[index_u[position]])
@@ -203,6 +233,43 @@ def delete_edge_kernel(heap, subgraph: DiskGraph, eid: int, level: int) -> int:
     return destroyed
 
 
+def delete_edge_kernel_precomputed(
+    heap,
+    subgraph: DiskGraph,
+    eid: int,
+    level: int,
+    u: int,
+    v: int,
+    f_ids: np.ndarray,
+    g_ids: np.ndarray,
+) -> int:
+    """:func:`delete_edge_kernel` with the triangle partners precomputed.
+
+    The parallel wave precompute (:mod:`repro.parallel.peel`) already
+    intersected ``N(u)`` / ``N(v)`` from the shared image, so the parent
+    skips the CPU work — but still charges the kernel's graph loads
+    (endpoint pair, both adjacency+edge-id slices) through the device's
+    charge-only touch path, offset for offset what the serial kernel's
+    reads issue. The probe/decrement sequence against the live heap is
+    the shared :func:`_apply_triangle_updates`.
+    """
+    device = subgraph.device
+    itemsize = subgraph.edge_endpoints.itemsize
+    device.touch_read(
+        subgraph.edge_endpoints.extent, 2 * eid * itemsize, 2 * itemsize
+    )
+    offsets = subgraph.offsets
+    for w in (u, v):
+        start = int(offsets[w])
+        nbytes = (int(offsets[w + 1]) - start) * itemsize
+        if nbytes:
+            device.touch_read(subgraph.adj.extent, start * itemsize, nbytes)
+            device.touch_read(subgraph.adj_eids.extent, start * itemsize, nbytes)
+    if len(f_ids) == 0:
+        return 0
+    return _apply_triangle_updates(heap, f_ids, g_ids, level)
+
+
 def peel_below(
     heap,
     subgraph: DiskGraph,
@@ -214,22 +281,51 @@ def peel_below(
     After the run, all surviving edges have (in-subgraph) support
     ``>= support_threshold`` — i.e. the survivors form the maximal
     ``(support_threshold + 2)``-truss edge set of *subgraph*.
+
+    The peel proceeds in deterministic *waves*: the whole minimum support
+    class is collected (ascending edge ids) and popped member by member.
+    A decrement never moves a key to or below the wave's level, so no
+    member's key changes mid-wave and edges demoted into the class simply
+    form the next wave — the peel order depends only on (key, edge id),
+    never on heap insertion history. When an ambient parallel executor is
+    active and the wave is wide enough, the wave's triangle-partner tables
+    are precomputed on the worker pool; every heap mutation and every
+    charged I/O still happens here, in the same per-edge order.
     """
+    from ..parallel.executor import active_executor
+
     stats = PeelStats()
     with trace_span("peel", kind="kernel", threshold=support_threshold):
         while len(heap):
             current_min = heap.min_key()
             if current_min is None or current_min >= support_threshold:
                 break
-            if budget is not None:
-                budget.spend()
-            eid, key = heap.pop_min()
-            stats.destroyed_triangles += delete_edge_kernel(
-                heap, subgraph, eid, key
-            )
-            heap.after_kernel()
-            stats.removed_edges += 1
-            stats.kernel_calls += 1
+            level, wave = heap.collect_min_class()
+            partners = None
+            executor = active_executor()
+            if (
+                executor is not None
+                and executor.wants_wave(len(wave))
+                and hasattr(heap, "probe_keys")
+            ):
+                from ..parallel.peel import precompute_wave_partners
+
+                partners = precompute_wave_partners(executor, subgraph, wave)
+            for eid in wave:
+                if budget is not None:
+                    budget.spend()
+                heap.pop_edge(eid)
+                if partners is None:
+                    destroyed = delete_edge_kernel(heap, subgraph, eid, level)
+                else:
+                    u, v, f_ids, g_ids = partners[eid]
+                    destroyed = delete_edge_kernel_precomputed(
+                        heap, subgraph, eid, level, u, v, f_ids, g_ids
+                    )
+                stats.destroyed_triangles += destroyed
+                heap.after_kernel()
+                stats.removed_edges += 1
+                stats.kernel_calls += 1
     # Round width (edges removed per threshold round) is the knob the
     # paper's lazy variants optimise; always cheap, always recorded.
     global_metrics().histogram(

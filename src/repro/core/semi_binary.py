@@ -325,58 +325,62 @@ def semi_binary(
     device = ctx.device_for(graph.n)
     memory = ctx.memory
     budget = ctx.new_budget(budget)
-    disk_graph = DiskGraph(graph, device, memory, name="G")
-    io_start = device.stats.snapshot()
+    # Sharding-aware kernels (support scans — including every binary-search
+    # probe's — and the peel waves) dispatch onto the context's worker pool
+    # inside this scope; a serial config makes it a free no-op.
+    with ctx.parallel_kernels():
+        disk_graph = DiskGraph(graph, device, memory, name="G")
+        io_start = device.stats.snapshot()
 
-    if graph.m == 0:
+        if graph.m == 0:
+            return MaxTrussResult(
+                "SemiBinary", 0, [], device.stats.since(io_start),
+                memory.peak_bytes, watch.elapsed(),
+            )
+
+        scan = compute_supports(disk_graph)
+        if scan.triangle_count == 0:
+            # No triangles: every edge has trussness 2.
+            pairs = graph.edge_pairs()
+            return MaxTrussResult(
+                "SemiBinary", 2, pairs, device.stats.since(io_start),
+                memory.peak_bytes, watch.elapsed(),
+                extras={"triangles": 0},
+            )
+
+        lb = bounds.lemma1_lower_bound(
+            scan.triangle_count, graph.m, scan.zero_support_edges
+        )
+        ub = bounds.support_upper_bound(scan.max_support)
+        lb, ub = bounds.clamp_bounds(lb, ub)
+        edge_file = build_sorted_edge_file(scan, sort_memory_elems)
+
+        outcome = binary_search_kmax(
+            disk_graph, edge_file, lb, ub, make_plain_heap, memory, budget
+        )
+        k_max, outcome = verified_kmax(
+            disk_graph, edge_file, outcome, lb, ub, make_plain_heap, memory, budget
+        )
+        if k_max <= 2:
+            truss_pairs = graph.edge_pairs()
+            k_max = 2
+        else:
+            truss_pairs = materialise_truss(
+                disk_graph, edge_file, k_max, make_plain_heap, memory, budget
+            )
+        device.flush()
         return MaxTrussResult(
-            "SemiBinary", 0, [], device.stats.since(io_start),
-            memory.peak_bytes, watch.elapsed(),
+            "SemiBinary",
+            k_max,
+            truss_pairs,
+            device.stats.since(io_start),
+            memory.peak_bytes,
+            watch.elapsed(),
+            extras={
+                "triangles": scan.triangle_count,
+                "initial_lb": lb,
+                "initial_ub": ub,
+                "search_probes": outcome.probes,
+                "peeled_edges": outcome.peel.removed_edges,
+            },
         )
-
-    scan = compute_supports(disk_graph)
-    if scan.triangle_count == 0:
-        # No triangles: every edge has trussness 2.
-        pairs = graph.edge_pairs()
-        return MaxTrussResult(
-            "SemiBinary", 2, pairs, device.stats.since(io_start),
-            memory.peak_bytes, watch.elapsed(),
-            extras={"triangles": 0},
-        )
-
-    lb = bounds.lemma1_lower_bound(
-        scan.triangle_count, graph.m, scan.zero_support_edges
-    )
-    ub = bounds.support_upper_bound(scan.max_support)
-    lb, ub = bounds.clamp_bounds(lb, ub)
-    edge_file = build_sorted_edge_file(scan, sort_memory_elems)
-
-    outcome = binary_search_kmax(
-        disk_graph, edge_file, lb, ub, make_plain_heap, memory, budget
-    )
-    k_max, outcome = verified_kmax(
-        disk_graph, edge_file, outcome, lb, ub, make_plain_heap, memory, budget
-    )
-    if k_max <= 2:
-        truss_pairs = graph.edge_pairs()
-        k_max = 2
-    else:
-        truss_pairs = materialise_truss(
-            disk_graph, edge_file, k_max, make_plain_heap, memory, budget
-        )
-    device.flush()
-    return MaxTrussResult(
-        "SemiBinary",
-        k_max,
-        truss_pairs,
-        device.stats.since(io_start),
-        memory.peak_bytes,
-        watch.elapsed(),
-        extras={
-            "triangles": scan.triangle_count,
-            "initial_lb": lb,
-            "initial_ub": ub,
-            "search_probes": outcome.probes,
-            "peeled_edges": outcome.peel.removed_edges,
-        },
-    )

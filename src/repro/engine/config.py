@@ -71,6 +71,16 @@ class EngineConfig:
         ``close`` (default: once, when the device closes) or ``always``
         (after every physical block write). Ignored by the simulated
         backends.
+    workers:
+        Process-pool size for the sharded kernels (``repro.parallel``).
+        ``0`` or ``1`` (default) runs everything serially. Parallel runs
+        produce bit-identical results and charge a bit-identical I/O bill
+        (the ledger-merge replay — see docs/io_model.md).
+    parallel_threshold:
+        Minimum work size (edges for a support scan, wave width for a
+        peel round) before a kernel is sharded; smaller kernels run
+        serially to dodge dispatch overhead. Gating never affects the
+        charged bill.
     trace:
         Optional hook called as ``trace(event, payload)`` at engine events
         (device construction, phase boundaries).
@@ -92,6 +102,8 @@ class EngineConfig:
     work_limit: Optional[int] = None
     data_dir: Optional[str] = None
     fsync_policy: str = "close"
+    workers: int = 0
+    parallel_threshold: int = 10_000
     trace: Optional[TraceHook] = field(default=None, repr=False)
 
     def validate(self) -> "EngineConfig":
@@ -123,6 +135,15 @@ class EngineConfig:
                 f"unknown fsync policy {self.fsync_policy!r}; "
                 f"known: {', '.join(_FSYNC_POLICIES)}"
             )
+        if self.workers < 0:
+            raise DeviceError(
+                f"workers must be non-negative, got {self.workers}"
+            )
+        if self.parallel_threshold < 0:
+            raise DeviceError(
+                f"parallel_threshold must be non-negative, "
+                f"got {self.parallel_threshold}"
+            )
         return self
 
     def describe(self) -> Dict[str, Any]:
@@ -137,6 +158,8 @@ class EngineConfig:
             "work_limit": self.work_limit,
             "data_dir": self.data_dir,
             "fsync_policy": self.fsync_policy,
+            "workers": self.workers,
+            "parallel_threshold": self.parallel_threshold,
         }
 
     def summary(self) -> str:
@@ -150,6 +173,8 @@ class EngineConfig:
         ]
         if not self.batch_fast_path:
             parts.append("fast_path=off")
+        if self.workers > 1:
+            parts.append(f"workers={self.workers}")
         if self.work_limit is not None:
             parts.append(f"work_limit={self.work_limit}")
         if self.backend == "file":

@@ -1,0 +1,58 @@
+"""Sharded peel-wave partner precompute.
+
+A peel *wave* (all edges of the current minimum support class, in edge-id
+order — see :func:`repro.core.peeling.peel_below`) is fixed at collection
+time: no member's key can change mid-wave, and adjacency lists are never
+physically rewritten. The triangle-partner tables of every member are
+therefore pure topology, computable in parallel from the shared CSR image
+before the wave is popped. Heap state is NOT shipped to workers — the
+parent still runs every probe/decrement itself against the live heap, and
+charges the kernel's graph loads through
+:func:`~repro.core.peeling.delete_edge_kernel_precomputed`, so the
+per-edge charged sequence stays byte-identical to the serial kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..graph.disk_graph import DiskGraph
+from ..observability.tracer import trace_span
+from .executor import ParallelExecutor
+
+#: eid -> (u, v, f_ids, g_ids): endpoints + aligned triangle-partner ids.
+PartnerTable = Dict[int, Tuple[int, int, np.ndarray, np.ndarray]]
+
+
+def precompute_wave_partners(
+    executor: ParallelExecutor,
+    subgraph: DiskGraph,
+    wave: List[int],
+) -> PartnerTable:
+    """Partner tables for every wave member, sharded over the pool."""
+    image = executor.image_for(subgraph.graph)
+    eids = np.asarray(wave, dtype=np.int64)
+    workers = max(1, min(executor.workers, len(eids)))
+    chunks = np.array_split(eids, workers)
+    with trace_span(
+        "parallel.round", kind="parallel", kernel="peel_wave",
+        workers=workers, wave=len(eids),
+    ):
+        tasks = [
+            (index, ("peel", image.key, chunk, subgraph.device.block_size))
+            for index, chunk in enumerate(chunks)
+            if len(chunk)
+        ]
+        results = executor.pool.run_tasks(tasks)
+    table: PartnerTable = {}
+    for result in results:
+        bounds = np.zeros(len(result["counts"]) + 1, dtype=np.int64)
+        np.cumsum(result["counts"], out=bounds[1:])
+        f_ids, g_ids = result["f_ids"], result["g_ids"]
+        for position, eid in enumerate(result["eids"].tolist()):
+            u, v = result["endpoints"][position]
+            lo, hi = int(bounds[position]), int(bounds[position + 1])
+            table[eid] = (int(u), int(v), f_ids[lo:hi], g_ids[lo:hi])
+    return table

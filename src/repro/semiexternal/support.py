@@ -53,7 +53,21 @@ def compute_supports(disk_graph: DiskGraph, name: str = "sup") -> SupportScan:
 
     Memory use is ``O(n)`` (one marker array); every adjacency load and every
     support write is charged to the graph's block device.
+
+    When an ambient parallel executor is active (the enclosing
+    ``ExecutionContext.parallel_kernels()`` scope, ``workers > 1``) and the
+    scan crosses ``parallel_threshold``, the values are computed by the
+    sharded worker kernels instead — same result, and the bill stays
+    bit-identical because the parent replays this function's exact access
+    sequence through the same device (``repro.parallel.scan``).
     """
+    from ..parallel.executor import active_executor
+
+    executor = active_executor()
+    if executor is not None and executor.wants_scan(disk_graph.n, disk_graph.m):
+        from ..parallel.scan import parallel_compute_supports
+
+        return parallel_compute_supports(disk_graph, executor, name=name)
     with trace_span("support_scan", kind="kernel",
                     n=disk_graph.n, m=disk_graph.m, array=name):
         return _compute_supports_impl(disk_graph, name)

@@ -11,6 +11,7 @@ from .device import (
     ReferenceBlockDevice,
     DEFAULT_BLOCK_SIZE,
     DEFAULT_CACHE_BLOCKS,
+    count_block_touches,
 )
 from .disk_array import DiskArray
 from .external_sort import external_sort, external_argsort_by_key, external_sort_by_key
@@ -29,6 +30,7 @@ __all__ = [
     "external_sort_by_key",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_CACHE_BLOCKS",
+    "count_block_touches",
     "LRUCache",
     "FIFOCache",
     "ClockCache",

@@ -39,6 +39,32 @@ DEFAULT_CACHE_BLOCKS = 1024
 _SMALL_BATCH = 8
 
 
+def count_block_touches(offsets, lengths, block_size: int) -> int:
+    """Blocks spanned by each ``(offset, nbytes)`` access, summed.
+
+    The vectorized closed form of what :meth:`BlockDevice.touch_read`
+    tallies when touch counting is enabled: an access spanning bytes
+    ``[o, o + l)`` touches ``(o + l - 1) // B - o // B + 1`` blocks
+    (zero-length accesses touch none). Parallel workers use this to claim
+    their shard's block-touch counts without a device; the ledger merge
+    cross-checks the claim against the parent device's replayed tally.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if np.ndim(lengths) == 0:
+        lengths = np.full(offsets.shape, int(lengths), dtype=np.int64)
+    else:
+        lengths = np.asarray(lengths, dtype=np.int64)
+    if offsets.size == 0:
+        return 0
+    nonzero = lengths > 0
+    if not nonzero.all():
+        offsets, lengths = offsets[nonzero], lengths[nonzero]
+        if offsets.size == 0:
+            return 0
+    spans = (offsets + lengths - 1) // block_size - offsets // block_size + 1
+    return int(spans.sum())
+
+
 class BlockDevice:
     """A simulated disk: named extents, an LRU block cache, I/O counters.
 
@@ -197,6 +223,11 @@ class BlockDevice:
     def touch_counts_by_extent(self) -> Dict[str, int]:
         """Snapshot of the per-extent touch tally (empty when disabled)."""
         return dict(self._touch_counts) if self._touch_counts is not None else {}
+
+    @property
+    def touch_counting_enabled(self) -> bool:
+        """Whether :meth:`enable_touch_counting` has run (ledger-merge audits)."""
+        return self._touch_counts is not None
 
     def _bump_touches(self, extent: int, count: int) -> None:
         name = self._extent_names.get(extent, "?")

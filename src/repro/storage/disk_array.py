@@ -218,6 +218,23 @@ class DiskArray:
             position = stop
         return values, bounds
 
+    def adopt(self, values: np.ndarray) -> None:
+        """Install *values* as the payload without charging any I/O.
+
+        The parallel kernels compute payloads in worker processes and
+        charge the canonical access sequence separately through the
+        ledger-merge replay (``repro.parallel``); adopting here a second
+        time through ``scatter`` would double-charge the writes. Algorithm
+        code must pair every ``adopt`` with a replayed charge of the same
+        accesses, or its I/O counts would lie.
+        """
+        values = np.asarray(values, dtype=self.dtype)
+        if len(values) != self.length:
+            raise ArrayBoundsError(
+                f"adopt: {len(values)} values for {self.name!r} of length {self.length}"
+            )
+        self._data[:] = values
+
     def to_numpy(self) -> np.ndarray:
         """Full sequential read of the array contents."""
         return self.read_slice(0, self.length)

@@ -13,8 +13,9 @@ decrements cost no I/O. The protocol implemented here is Algorithm 4
   written back so deletions keep draining from the linear heap.
 
 The structure exposes the uniform *peel-heap protocol* consumed by
-:mod:`repro.core.peeling`: ``min_key``, ``pop_min``, ``key_if_alive``,
-``decrement_edge``, ``after_kernel``, ``__len__``.
+:mod:`repro.core.peeling`: ``min_key``, ``pop_min``, ``collect_min_class``,
+``pop_edge``, ``key_if_alive``, ``decrement_edge``, ``after_kernel``,
+``__len__``.
 """
 
 from __future__ import annotations
@@ -104,6 +105,28 @@ class LHDH:
             self._recharge()
             return eid, key
         return self.lheap.pop_min()
+
+    def collect_min_class(self) -> Tuple[int, list]:
+        """The minimum key and every edge currently holding it, ascending
+        by edge id (one peel *wave*). Dynamic-heap members are read from
+        memory; linear-heap members cost one charged bucket walk.
+        """
+        key = self.min_key()
+        if key is None:
+            raise HeapEmptyError("collect_min_class() on empty LHDH")
+        members = [eid for eid, k in self.dheap.items() if k == key]
+        if self.lheap.min_key() == key:
+            members.extend(self.lheap.iter_bucket(key))
+        return key, sorted(members)
+
+    def pop_edge(self, eid: int) -> int:
+        """Remove a specific (alive) edge from whichever component holds
+        it; returns its key. Free for dynamic-heap residents."""
+        if eid in self.dheap:
+            key = self.dheap.remove(eid)
+            self._recharge()
+            return key
+        return self.lheap.remove(eid)
 
     # ------------------------------------------------------------------ #
     # kernel operations (Algorithm 4)
