@@ -38,6 +38,16 @@ Sections
     section records the wall-clock overhead factor plus the physical
     bytes moved, so a change that silently inflates the real-I/O cost of
     the file backend shows up as a diff.
+``ingest``
+    The group-commit criterion. The same churn stream runs twice against
+    a durable (WAL + real fsync) deployment: once per-op (one durability
+    barrier per update) and once through ``IngestPipeline`` (micro-batches
+    of ``batch_size``, one ``append_group`` barrier per batch). Both final
+    decompositions must be bit-identical — and equal to a from-scratch
+    decomposition of the mutated graph (asserted). Full mode demands
+    >= ``INGEST_SPEEDUP_THRESHOLD`` on the durable path at batch size 64
+    and fsyncs/edge <= 2/batch_size; the section also records the
+    pipeline's sustained edges/sec.
 ``parallel``
     Speedup-vs-workers (1/2/4) for the sharded kernels: the support scan
     and a full semi-binary run, serial vs ``EngineConfig(workers=...)``.
@@ -83,6 +93,11 @@ SPEEDUP_THRESHOLD = 3.0
 
 #: Full-mode acceptance bar for the sharded support scan at 4 workers.
 PARALLEL_SPEEDUP_THRESHOLD = 1.8
+
+#: Full-mode acceptance bar for group-commit ingestion on the durable
+#: path: one fsync per 64-op batch must beat one fsync per op by >= 3x.
+INGEST_SPEEDUP_THRESHOLD = 3.0
+INGEST_BATCH_SIZE = 64
 
 #: Default dataset scale for the support-scan microbenchmark: dense enough
 #: that batches amortise the vectorization overhead (average degree ~600),
@@ -363,6 +378,104 @@ def bench_maintenance(graph, ops: int, config: EngineConfig) -> dict:
     }
 
 
+def bench_ingest(graph, ops: int, batch_size: int, smoke: bool) -> dict:
+    """Per-op durable maintenance vs pipelined group-commit ingestion.
+
+    Both runs pay *real* fsyncs (the WAL lives on disk); the per-op run
+    issues one barrier per update, the pipelined run one ``append_group``
+    barrier per ``batch_size``-op micro-batch. A fault-free
+    ``FaultInjector`` rides along as a pure syscall counter so the
+    reported fsyncs/edge are exact, and both final decompositions are
+    asserted bit-identical to each other and to a from-scratch
+    decomposition of the mutated graph.
+    """
+    import tempfile
+
+    from repro.baselines import max_truss_edges
+    from repro.dynamic import IngestPipeline
+    from repro.persistence import FaultInjector
+    from repro.persistence.recovery import durable_from_graph
+
+    churn = mixed_churn(graph, ops, insert_fraction=0.5, seed=13)
+
+    with tempfile.TemporaryDirectory() as home:
+        counter = FaultInjector()  # no trigger: counts writes/fsyncs only
+        durable = durable_from_graph(graph, home, file_ops=counter)
+        base_ops, base_writes = counter.ops, counter.writes
+        start = time.perf_counter()
+        for op, u, v in churn:
+            getattr(durable, op)(u, v)
+        per_op_s = time.perf_counter() - start
+        per_op_fsyncs = (counter.ops - base_ops) - (counter.writes - base_writes)
+        per_op_state = durable.state
+        durable.close()
+
+    with tempfile.TemporaryDirectory() as home:
+        counter = FaultInjector()
+        durable = durable_from_graph(graph, home, file_ops=counter)
+        base_ops, base_writes = counter.ops, counter.writes
+        pipe = IngestPipeline(durable, batch_size=batch_size)
+        start = time.perf_counter()
+        for op, u, v in churn:
+            pipe.submit_op(op, u, v)
+        pipe.close()
+        piped_s = time.perf_counter() - start
+        piped_fsyncs = (counter.ops - base_ops) - (counter.writes - base_writes)
+        piped_state = durable.state
+        durable.close()
+
+    if (
+        piped_state.k_max != per_op_state.k_max
+        or piped_state.truss_pairs() != per_op_state.truss_pairs()
+    ):
+        raise AssertionError(
+            "pipelined ingestion diverged from per-op maintenance: "
+            f"k_max {piped_state.k_max} vs {per_op_state.k_max}"
+        )
+    mutable = graph.to_mutable()
+    for op, u, v in churn:
+        if op == "insert":
+            mutable.insert_edge(u, v)
+        else:
+            mutable.delete_edge(u, v)
+    frozen, _ = mutable.to_graph()
+    scratch_k, scratch_edges = max_truss_edges(frozen)
+    if (
+        piped_state.k_max != scratch_k
+        or piped_state.truss_pairs() != scratch_edges
+    ):
+        raise AssertionError(
+            "pipelined ingestion diverged from the from-scratch "
+            f"decomposition: k_max {piped_state.k_max} vs {scratch_k}"
+        )
+
+    speedup = round(per_op_s / piped_s, 2) if piped_s > 0 else None
+    fsyncs_per_edge = piped_fsyncs / len(churn)
+    fsync_bound = 2.0 / batch_size
+    passed = bool(
+        smoke
+        or (speedup is not None and speedup >= INGEST_SPEEDUP_THRESHOLD
+            and fsyncs_per_edge <= fsync_bound)
+    )
+    return {
+        "graph": {"n": graph.n, "m": graph.m},
+        "ops": len(churn),
+        "batch_size": batch_size,
+        "per_op_s": round(per_op_s, 4),
+        "pipelined_s": round(piped_s, 4),
+        "speedup": speedup,
+        "per_op_fsyncs": per_op_fsyncs,
+        "pipelined_fsyncs": piped_fsyncs,
+        "fsyncs_per_edge": round(fsyncs_per_edge, 5),
+        "fsyncs_per_edge_bound": round(fsync_bound, 5),
+        "edges_per_sec": round(pipe.stats.edges_per_sec, 1),
+        "batches": pipe.stats.batches,
+        "k_max_after": piped_state.k_max,
+        "threshold": INGEST_SPEEDUP_THRESHOLD,
+        "passed": passed,
+    }
+
+
 def _parallel_scan_once(graph, context) -> tuple:
     """One ``compute_supports`` under the context's parallel scope."""
     device = context.device_for(graph.n)
@@ -519,6 +632,16 @@ def run(smoke: bool) -> dict:
 
     observability = bench_observability(decomp_graph, config)
 
+    ingest_graph = gnm_random(n=50, m=300, seed=13) if smoke else gnm_random(
+        n=150, m=2_000, seed=13
+    )
+    ingest = bench_ingest(
+        ingest_graph,
+        ops=32 if smoke else 256,
+        batch_size=16 if smoke else INGEST_BATCH_SIZE,
+        smoke=smoke,
+    )
+
     parallel = bench_parallel(scan_graph, decomp_graph, reps, smoke)
     parallel["engine_config"] = config.describe()
 
@@ -536,6 +659,7 @@ def run(smoke: bool) -> dict:
             "decomposition": decomposition,
             "maintenance": maintenance,
             "observability": observability,
+            "ingest": ingest,
             "parallel": parallel,
         },
     }
@@ -585,6 +709,17 @@ def main(argv=None) -> int:
         f"{observability['overhead_x']}x overhead, "
         f"{observability['span_count']} spans, charged bill identical"
     )
+    ingest = report["benchmarks"]["ingest"]
+    print(
+        f"ingest: per-op {ingest['per_op_s']}s "
+        f"({ingest['per_op_fsyncs']} fsyncs), pipelined "
+        f"{ingest['pipelined_s']}s ({ingest['pipelined_fsyncs']} fsyncs, "
+        f"batch {ingest['batch_size']}) -> {ingest['speedup']}x, "
+        f"{ingest['edges_per_sec']} edges/s, "
+        f"{ingest['fsyncs_per_edge']} fsyncs/edge "
+        f"(bound {ingest['fsyncs_per_edge_bound']}; "
+        f"{'pass' if ingest['passed'] else 'FAIL'}; decompositions identical)"
+    )
     parallel = report["benchmarks"]["parallel"]
     scan_rows = parallel["support_scan"]["workers"]
     print(
@@ -598,7 +733,10 @@ def main(argv=None) -> int:
         f"{'pass' if parallel['passed'] else 'FAIL'}; "
         "merged bill bit-identical)"
     )
-    return 0 if accounting["passed"] and parallel["passed"] else 1
+    return (
+        0 if accounting["passed"] and parallel["passed"] and ingest["passed"]
+        else 1
+    )
 
 
 if __name__ == "__main__":

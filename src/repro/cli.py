@@ -10,6 +10,9 @@ Subcommands
   the binary ``.rgr`` CSR image — the paper's offline preprocessing step).
 * ``maintain`` — apply an update stream (``+u v`` / ``-u v`` lines) to a
   graph, reporting per-op maintenance cost.
+* ``ingest`` — pump an edge stream through the pipelined ingestion front
+  end (bounded queue, micro-batches, backpressure), optionally durable
+  (group-commit WAL) and/or sliding-window.
 * ``trace`` — summarize or diff recorded trace files (``compute`` and
   ``maintain`` record one with ``--trace FILE``).
 
@@ -313,6 +316,109 @@ def _run_maintain(
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .dynamic.ingest import IngestPipeline
+    from .graph.memgraph import Graph as _Graph
+
+    config = _engine_config(args)
+    config.ingest_batch_size = args.batch_size
+    config.ingest_queue_capacity = args.queue_capacity
+    config.ingest_backpressure = args.backpressure
+    config.ingest_max_delay = args.max_delay
+    config.validate()
+    graph = (
+        _Graph.empty(0) if args.graph is None
+        else _load_graph(args.graph, args.seed)
+    )
+    engine_context = ExecutionContext(config)
+    print(f"engine: {config.summary()}")
+    print(
+        f"ingest: batch_size={config.ingest_batch_size} "
+        f"queue={config.ingest_queue_capacity} "
+        f"backpressure={config.ingest_backpressure}"
+        + (f" max_delay={config.ingest_max_delay}s"
+           if config.ingest_max_delay is not None else "")
+        + (f" window={args.window}" if args.window is not None else "")
+        + (" durable" if args.durable else "")
+    )
+    state = DynamicMaxTruss(graph, context=engine_context)
+    sink = state
+    if args.durable:
+        from .persistence.recovery import DurableMaintenance
+
+        sink = DurableMaintenance(state, args.durable)
+    stream = (
+        open(args.updates, "r", encoding="utf-8") if args.updates else sys.stdin
+    )
+    try:
+        pipe = IngestPipeline.from_config(sink, config, window=args.window)
+        if args.threaded:
+            pipe.start()
+        status = _pump_stream(pipe, stream, window=args.window is not None)
+        pipe.close()
+    finally:
+        if args.updates:
+            stream.close()
+        if args.durable:
+            sink.close()
+        engine_context.close()
+    if status != 0:
+        return status
+    stats = pipe.stats
+    print(
+        f"stream: {stats.submitted} submitted, {stats.accepted} accepted, "
+        f"{stats.dropped} dropped, {stats.rejected} rejected"
+        + (f", {stats.duplicates_skipped} duplicates, "
+           f"{stats.expirations} expired" if args.window is not None else "")
+    )
+    triggers = ", ".join(
+        f"{count} by {trigger}"
+        for trigger, count in stats.flushes.items() if count
+    )
+    print(
+        f"applied: {stats.applied_ops} ops in {stats.batches} batches"
+        + (f" ({triggers})" if triggers else "")
+        + f", peak queue depth {stats.max_queue_depth}"
+    )
+    print(
+        f"throughput: {stats.edges_per_sec:.0f} edges/s "
+        f"({stats.elapsed_seconds:.3f}s wall, "
+        f"{stats.apply_seconds:.3f}s applying)"
+    )
+    print(f"final k_max: {state.k_max} ({state.truss_edge_count()} class edges)")
+    return 0
+
+
+def _pump_stream(pipe, stream, window: bool) -> int:
+    """Feed ``[+|-]u v`` lines into *pipe*; exit status 2 on bad input."""
+    for line_number, line in enumerate(stream, 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        sign = "+"
+        if stripped[0] in "+-":
+            sign, stripped = stripped[0], stripped[1:]
+        try:
+            u, v = (int(x) for x in stripped.split())
+        except ValueError:
+            print(f"line {line_number}: malformed update {line.strip()!r}",
+                  file=sys.stderr)
+            return 2
+        if window:
+            if sign == "-":
+                print(
+                    f"line {line_number}: explicit deletes are invalid with "
+                    "--window (expirations are automatic)", file=sys.stderr,
+                )
+                return 2
+            pipe.submit(u, v)
+        elif sign == "+":
+            pipe.submit_op("insert", u, v)
+        else:
+            pipe.submit_op("delete", u, v)
+    return 0
+
+
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
     import json
 
@@ -448,6 +554,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flags(maintain)
     maintain.set_defaults(func=_cmd_maintain)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream edges through the pipelined ingestion front end",
+    )
+    ingest.add_argument(
+        "graph", nargs="?", default=None,
+        help="starting graph (edge-list file or dataset name; "
+             "default: empty graph)",
+    )
+    ingest.add_argument(
+        "--updates", help="edge stream file of 'u v' (insert/arrival) and "
+                          "'-u v' (delete) lines (default: stdin)",
+    )
+    ingest.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="sliding-window mode: keep the last N streamed edges alive "
+             "(lines are arrivals; expirations are automatic)",
+    )
+    ingest.add_argument(
+        "--batch-size", type=int, default=EngineConfig().ingest_batch_size,
+        help="micro-batch flush threshold (and WAL group-commit size)",
+    )
+    ingest.add_argument(
+        "--queue-capacity", type=int,
+        default=EngineConfig().ingest_queue_capacity,
+        help="bounded-queue capacity before backpressure engages",
+    )
+    ingest.add_argument(
+        "--backpressure", default="block",
+        choices=["block", "drop-oldest", "reject"],
+        help="full-queue policy",
+    )
+    ingest.add_argument(
+        "--max-delay", type=float, default=None, metavar="SECONDS",
+        help="flush when the oldest queued event is this old",
+    )
+    ingest.add_argument(
+        "--durable", default=None, metavar="DIR",
+        help="run over a write-ahead log in DIR (one group-commit fsync "
+             "per micro-batch)",
+    )
+    ingest.add_argument(
+        "--threaded", action="store_true",
+        help="drain on a background consumer thread (overlap producer "
+             "parsing with the apply path)",
+    )
+    ingest.add_argument("--seed", type=int, default=0)
+    _add_engine_flags(ingest)
+    ingest.set_defaults(func=_cmd_ingest)
 
     trace = sub.add_parser(
         "trace", help="summarize or diff recorded trace files"

@@ -6,7 +6,8 @@ from .deletion import delete_edge
 from .insertion import insert_edge
 from .batch import BatchResult, apply_batch
 from .checkpoint import save_checkpoint, load_checkpoint
-from .stream import SlidingWindowTruss, StreamStats
+from .ingest import IngestPipeline, IngestStats
+from .stream import BoundedHistory, SlidingWindowTruss, StreamStats
 from .ylj import YLJMaintenance
 from . import workload
 
@@ -19,6 +20,9 @@ __all__ = [
     "apply_batch",
     "save_checkpoint",
     "load_checkpoint",
+    "BoundedHistory",
+    "IngestPipeline",
+    "IngestStats",
     "SlidingWindowTruss",
     "StreamStats",
     "YLJMaintenance",

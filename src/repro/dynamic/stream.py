@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Iterable, List, Optional, Tuple
+from typing import Deque, Iterable, Iterator, List, Optional, Tuple
 
 from ..engine.context import ContextLike
 from ..graph.memgraph import Graph
@@ -20,6 +20,76 @@ from ..storage import BlockDevice
 from .state import DynamicMaxTruss
 
 EdgePair = Tuple[int, int]
+
+#: Default retention of :class:`BoundedHistory` (values, not bytes).
+DEFAULT_HISTORY_CAPACITY = 1024
+
+
+class BoundedHistory:
+    """Ring buffer of the most recent values with exact count and peak.
+
+    A firehose run flushes millions of micro-batches; recording ``k_max``
+    after every one in an unbounded list grows memory linearly with flush
+    count. This ring retains the last *capacity* values for inspection
+    while ``count`` (total values ever appended) and ``peak`` (largest
+    value ever appended) stay exact regardless of eviction.
+
+    Sequence access (``len``, indexing, iteration) covers the retained
+    window only; negative indices address it from the newest end, so
+    ``history[-1]`` is always the latest value.
+
+    >>> h = BoundedHistory(capacity=3)
+    >>> for v in (5, 9, 2, 4): h.append(v)
+    >>> list(h), h[-1], h.count, h.peak
+    ([9, 2, 4], 4, 4, 9)
+    """
+
+    __slots__ = ("capacity", "count", "peak", "_ring")
+
+    def __init__(self, capacity: int = DEFAULT_HISTORY_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"history capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.count = 0
+        self.peak = 0
+        self._ring: Deque[int] = deque(maxlen=capacity)
+
+    def append(self, value: int) -> None:
+        """Record one value (evicting the oldest beyond capacity)."""
+        self._ring.append(value)
+        self.count += 1
+        if value > self.peak:
+            self.peak = value
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __getitem__(self, index: int) -> int:
+        return self._ring[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ring)
+
+    def to_list(self) -> List[int]:
+        """The retained window as a plain list (oldest first)."""
+        return list(self._ring)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BoundedHistory):
+            return (
+                self.count == other.count
+                and self.peak == other.peak
+                and self._ring == other._ring
+            )
+        if isinstance(other, (list, tuple)):
+            return self.to_list() == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BoundedHistory(capacity={self.capacity}, count={self.count}, "
+            f"peak={self.peak}, retained={len(self._ring)})"
+        )
 
 
 @dataclass
@@ -29,12 +99,13 @@ class StreamStats:
     arrivals: int = 0
     expirations: int = 0
     duplicates_skipped: int = 0
-    k_max_history: List[int] = field(default_factory=list)
+    k_max_history: BoundedHistory = field(default_factory=BoundedHistory)
 
     @property
     def k_max_peak(self) -> int:
-        """Largest ``k_max`` observed (0 if nothing processed)."""
-        return max(self.k_max_history, default=0)
+        """Largest ``k_max`` observed (0 if nothing processed) — exact
+        even after the history ring has evicted the peak flush."""
+        return self.k_max_history.peak
 
 
 class SlidingWindowTruss:
@@ -47,6 +118,9 @@ class SlidingWindowTruss:
     batch_size:
         1 (default) applies arrivals/expirations per event; larger values
         buffer them and flush through the batch API.
+    history_capacity:
+        Retained ``k_max`` samples in ``stats.k_max_history`` (count and
+        peak stay exact beyond it).
 
     Example
     -------
@@ -62,6 +136,7 @@ class SlidingWindowTruss:
         batch_size: int = 1,
         device: Optional[BlockDevice] = None,
         context: Optional[ContextLike] = None,
+        history_capacity: int = DEFAULT_HISTORY_CAPACITY,
     ) -> None:
         if window < 1:
             raise ValueError("window must be at least 1")
@@ -75,7 +150,9 @@ class SlidingWindowTruss:
         self._live: Deque[EdgePair] = deque()
         self._live_set: set = set()
         self._pending: List[Tuple[str, int, int]] = []
-        self.stats = StreamStats()
+        self.stats = StreamStats(
+            k_max_history=BoundedHistory(history_capacity)
+        )
 
     # ------------------------------------------------------------------ #
     # stream interface

@@ -27,6 +27,11 @@ TraceHook = Callable[[str, Dict[str, Any]], None]
 _POLICIES = ("lru", "fifo", "clock")
 _FSYNC_POLICIES = ("never", "close", "always")
 
+#: Backpressure policies of :class:`repro.dynamic.ingest.IngestPipeline`.
+#: Defined here (not in the ingest module) so config validation needs no
+#: import of the dynamic layer.
+INGEST_BACKPRESSURE_POLICIES = ("block", "drop-oldest", "reject")
+
 
 @dataclass
 class EngineConfig:
@@ -84,6 +89,18 @@ class EngineConfig:
     trace:
         Optional hook called as ``trace(event, payload)`` at engine events
         (device construction, phase boundaries).
+    ingest_batch_size:
+        Micro-batch flush threshold of
+        :class:`repro.dynamic.ingest.IngestPipeline`; also the WAL
+        group-commit size on the durable path (one fsync per batch).
+    ingest_queue_capacity:
+        Bound on queued ingest events before backpressure engages.
+    ingest_backpressure:
+        Full-queue policy: ``block`` (default), ``drop-oldest``, or
+        ``reject``.
+    ingest_max_delay:
+        Age-based flush trigger in seconds (oldest queued event); ``None``
+        disables the age trigger.
 
     Example
     -------
@@ -105,6 +122,10 @@ class EngineConfig:
     workers: int = 0
     parallel_threshold: int = 10_000
     trace: Optional[TraceHook] = field(default=None, repr=False)
+    ingest_batch_size: int = 64
+    ingest_queue_capacity: int = 1024
+    ingest_backpressure: str = "block"
+    ingest_max_delay: Optional[float] = None
 
     def validate(self) -> "EngineConfig":
         """Check field ranges (backend names are checked by the registry).
@@ -144,6 +165,25 @@ class EngineConfig:
                 f"parallel_threshold must be non-negative, "
                 f"got {self.parallel_threshold}"
             )
+        if self.ingest_batch_size < 1:
+            raise DeviceError(
+                f"ingest_batch_size must be >= 1, got {self.ingest_batch_size}"
+            )
+        if self.ingest_queue_capacity < 1:
+            raise DeviceError(
+                f"ingest_queue_capacity must be >= 1, "
+                f"got {self.ingest_queue_capacity}"
+            )
+        if self.ingest_backpressure not in INGEST_BACKPRESSURE_POLICIES:
+            raise DeviceError(
+                f"unknown ingest backpressure {self.ingest_backpressure!r}; "
+                f"known: {', '.join(INGEST_BACKPRESSURE_POLICIES)}"
+            )
+        if self.ingest_max_delay is not None and self.ingest_max_delay <= 0:
+            raise DeviceError(
+                f"ingest_max_delay must be positive or None, "
+                f"got {self.ingest_max_delay}"
+            )
         return self
 
     def describe(self) -> Dict[str, Any]:
@@ -160,6 +200,10 @@ class EngineConfig:
             "fsync_policy": self.fsync_policy,
             "workers": self.workers,
             "parallel_threshold": self.parallel_threshold,
+            "ingest_batch_size": self.ingest_batch_size,
+            "ingest_queue_capacity": self.ingest_queue_capacity,
+            "ingest_backpressure": self.ingest_backpressure,
+            "ingest_max_delay": self.ingest_max_delay,
         }
 
     def summary(self) -> str:

@@ -63,3 +63,8 @@ class UnknownMethodError(ReproError, KeyError):
 
 class TraceFormatError(ReproError):
     """A trace file could not be parsed as length-framed JSONL records."""
+
+
+class IngestError(ReproError):
+    """Invalid operation on an :class:`repro.dynamic.ingest.IngestPipeline`
+    (submit after close, misuse of window mode, consumer failure)."""

@@ -157,17 +157,20 @@ class DurableMaintenance:
         """Durably apply a mixed batch of ``(op, u, v)`` operations.
 
         Consecutive same-op runs are framed as one WAL record each (order
-        preserved), all records are made durable, and only then is the
-        batch applied through
-        :meth:`~repro.dynamic.DynamicMaxTruss.apply_batch`.
+        preserved) and the whole batch is group-committed through
+        :meth:`~repro.persistence.wal.WriteAheadLog.append_group` — one
+        durability barrier per batch instead of one per record — and only
+        then applied through
+        :meth:`~repro.dynamic.DynamicMaxTruss.apply_batch`. A crash
+        tearing the group leaves a durable prefix of its records, which
+        recovery replays exactly like any torn tail.
         """
         operations = list(operations)
         if not operations:
             return None
         with self.state.context.span("durable.apply", kind="op",
                                      ops=len(operations)):
-            for op, edges in _runs(operations):
-                self.applied_seq = self.wal.append(op, edges)
+            self.applied_seq = self.wal.append_group(list(_runs(operations)))[-1]
             result = self.state.apply_batch(operations)
             self._after_apply(len(operations))
         return result

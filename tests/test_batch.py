@@ -75,6 +75,101 @@ class TestBasics:
         assert state.truss_edge_count() == 3
 
 
+class TestCoalescing:
+    def test_insert_delete_cancels(self):
+        state = DynamicMaxTruss(paper_example_graph())
+        result = apply_batch(state, [("insert", 0, 4), ("delete", 0, 4)])
+        assert result.operations == 2
+        assert result.cancelled_ops == 2
+        assert result.insertions == 0 and result.deletions == 0
+        assert result.mode == "untouched"
+        assert state.k_max == 4
+        assert not state.graph.has_edge(0, 4)
+
+    def test_delete_insert_round_trip_cancels(self):
+        graph = paper_example_graph()
+        u, v = map(int, graph.edges[0])
+        state = DynamicMaxTruss(graph)
+        before = state.truss_pairs()
+        result = apply_batch(state, [("delete", u, v), ("insert", v, u)])
+        assert result.cancelled_ops == 2
+        assert result.mode == "untouched"
+        assert state.truss_pairs() == before
+
+    def test_churn_reduces_to_net_insert(self):
+        state = DynamicMaxTruss(paper_example_graph())
+        result = apply_batch(
+            state,
+            [("insert", 0, 4), ("delete", 0, 4), ("insert", 0, 4)],
+        )
+        assert result.cancelled_ops == 2
+        assert result.insertions == 1 and result.deletions == 0
+        assert state.k_max == 5  # identical to a plain insert of (0, 4)
+
+    def test_fully_cancelled_batch_is_free(self):
+        state = DynamicMaxTruss(paper_example_graph())
+        result = apply_batch(
+            state,
+            [("insert", 9, 11), ("insert", 9, 12),
+             ("delete", 9, 11), ("delete", 9, 12)],
+        )
+        assert result.cancelled_ops == 4
+        assert result.gate_probes == 0
+        assert result.io.total_ios == 0
+
+    def test_atomic_validation_leaves_graph_untouched(self):
+        state = DynamicMaxTruss(paper_example_graph())
+        m_before, k_before = state.graph.m, state.k_max
+        with pytest.raises(GraphFormatError, match="existing edge"):
+            # The second insert of (0, 4) conflicts with the first: the
+            # whole batch must be rejected before any mutation.
+            apply_batch(
+                state, [("insert", 0, 4), ("insert", 4, 0)]
+            )
+        assert state.graph.m == m_before
+        assert not state.graph.has_edge(0, 4)
+        assert state.k_max == k_before
+
+    def test_double_delete_within_batch_raises(self):
+        graph = paper_example_graph()
+        u, v = map(int, graph.edges[0])
+        state = DynamicMaxTruss(graph)
+        with pytest.raises(GraphFormatError, match="absent edge"):
+            apply_batch(state, [("delete", u, v), ("delete", u, v)])
+        assert state.graph.has_edge(u, v)
+
+    def test_reinsert_after_delete_is_valid(self):
+        """delete, insert, delete leaves the edge net-deleted."""
+        graph = complete_graph(5)
+        state = DynamicMaxTruss(graph)
+        result = apply_batch(
+            state,
+            [("delete", 0, 1), ("insert", 0, 1), ("delete", 0, 1)],
+        )
+        assert result.cancelled_ops == 2
+        assert result.deletions == 1
+        assert not state.graph.has_edge(0, 1)
+        expected_k, expected_edges = max_truss_edges(
+            Graph.from_edges(
+                [(u, v) for u in range(5) for v in range(u + 1, 5)
+                 if (u, v) != (0, 1)]
+            )
+        )
+        assert state.k_max == expected_k
+        assert state.truss_pairs() == expected_edges
+
+    def test_gate_stops_at_first_passing_insertion(self):
+        state = DynamicMaxTruss(Graph.from_edges([(0, 1), (1, 2)]))
+        result = apply_batch(
+            state, [("insert", 0, 2), ("insert", 5, 6), ("insert", 6, 7)]
+        )
+        # (0, 2) closes a triangle and passes its gate immediately; the
+        # remaining insertions are never probed.
+        assert result.gate_probes == 1
+        assert result.mode == "global"
+        assert state.k_max == 3
+
+
 @st.composite
 def batch_scenarios(draw):
     n = draw(st.integers(min_value=5, max_value=12))

@@ -1,0 +1,351 @@
+"""Pipelined ingestion: exactness sweep, backpressure, triggers, modes.
+
+The acceptance bar for the ingestion front end is the same as for every
+other layer of the dynamic stack: whatever batching, queueing, dropping
+or threading happens between ``submit`` and the sink, the final
+decomposition must be bit-identical to per-op maintenance of exactly the
+events the pipeline *accepted* — which an in-memory oracle recomputes
+from scratch. The hypothesis sweep drives random edge streams across
+window sizes, batch sizes and backpressure policies; targeted tests pin
+down each policy, the age/pressure flush triggers, the threaded consumer,
+and error propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import max_truss_edges
+from repro.dynamic import DynamicMaxTruss, IngestPipeline, SlidingWindowTruss
+from repro.dynamic.workload import mixed_churn
+from repro.engine import EngineConfig
+from repro.errors import IngestError
+from repro.graph.generators import gnm_random, paper_example_graph
+from repro.graph.memgraph import Graph
+
+
+def _random_edges(seed, count=60, n=12):
+    rng = np.random.default_rng(seed)
+    edges = []
+    while len(edges) < count:
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if u != v:
+            edges.append((u, v))
+    return edges
+
+
+def _window_oracle(arrivals, window):
+    """From-scratch k_max/truss of the last *window* distinct live edges."""
+    live = []
+    live_set = set()
+    for u, v in arrivals:
+        pair = (min(u, v), max(u, v))
+        if pair in live_set:
+            continue
+        live.append(pair)
+        live_set.add(pair)
+        if len(live) > window:
+            live_set.discard(live.pop(0))
+    if not live:
+        return 0, []
+    return max_truss_edges(Graph.from_edges(live))
+
+
+class TestWindowExactness:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        window=st.sampled_from([4, 8, 20]),
+        batch_size=st.sampled_from([1, 3, 7, 16]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pipeline_matches_per_op_and_oracle(self, seed, window, batch_size):
+        """stream x window x batch_size: pipeline == SlidingWindowTruss
+        (per-event) == in-memory oracle, bit-identically."""
+        edges = _random_edges(seed)
+        state = DynamicMaxTruss(Graph.empty(0))
+        with IngestPipeline(state, window=window, batch_size=batch_size) as pipe:
+            pipe.submit_many(edges)
+        reference = SlidingWindowTruss(window=window)
+        reference.push_many(edges)
+        assert state.k_max == reference.k_max
+        assert state.truss_pairs() == reference.truss_pairs()
+        oracle_k, oracle_edges = _window_oracle(edges, window)
+        assert state.k_max == oracle_k
+        assert state.truss_pairs() == oracle_edges
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        policy=st.sampled_from(["block", "drop-oldest", "reject"]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_backpressure_policies_stay_exact(self, seed, policy):
+        """Whatever a policy drops, the applied stream is still processed
+        exactly: replaying the pipeline's own accepted arrivals per-op
+        reproduces its answer."""
+        edges = _random_edges(seed, count=80)
+        window, batch_size, capacity = 10, 16, 4
+        state = DynamicMaxTruss(Graph.empty(0))
+        accepted = []
+        with IngestPipeline(
+            state, window=window, batch_size=batch_size,
+            queue_capacity=capacity, backpressure=policy,
+        ) as pipe:
+            # Mirror admission via the submit return + drop accounting:
+            # every event the pipeline keeps is replayed into the oracle.
+            # (capacity < batch_size keeps the queue saturated, so under
+            # drop-oldest nothing is applied before close and the evicted
+            # event is always the oldest surviving arrival.)
+            for edge in edges:
+                dropped_before = pipe.stats.dropped
+                if not pipe.submit(*edge):
+                    continue
+                if pipe.stats.dropped > dropped_before:
+                    accepted.pop(0)
+                accepted.append(edge)
+        stats = pipe.stats
+        if policy == "block":
+            assert stats.dropped == 0 and stats.rejected == 0
+            assert accepted == edges
+        reference = SlidingWindowTruss(window=window)
+        reference.push_many(accepted)
+        assert state.k_max == reference.k_max
+        assert state.truss_pairs() == reference.truss_pairs()
+        assert stats.accepted == len(accepted) + stats.dropped
+
+
+class TestRawOps:
+    @pytest.mark.parametrize("batch_size", [1, 4, 32])
+    def test_matches_per_op_maintenance(self, batch_size):
+        graph = gnm_random(30, 90, seed=5)
+        ops = mixed_churn(graph, 50, insert_fraction=0.5, seed=9)
+        piped = DynamicMaxTruss(gnm_random(30, 90, seed=5))
+        with IngestPipeline(piped, batch_size=batch_size) as pipe:
+            for op, u, v in ops:
+                assert pipe.submit_op(op, u, v)
+        sequential = DynamicMaxTruss(gnm_random(30, 90, seed=5))
+        for op, u, v in ops:
+            if op == "insert":
+                sequential.insert(u, v)
+            else:
+                sequential.delete(u, v)
+        assert piped.k_max == sequential.k_max
+        assert piped.truss_pairs() == sequential.truss_pairs()
+
+    def test_durable_sink_group_commits(self, tmp_path):
+        """Over DurableMaintenance each micro-batch is one WAL group."""
+        from repro.persistence import recover
+        from repro.persistence.recovery import durable_from_graph
+
+        graph = paper_example_graph()
+        ops = mixed_churn(graph, 24, insert_fraction=0.6, seed=2)
+        durable = durable_from_graph(paper_example_graph(), tmp_path)
+        with IngestPipeline(durable, batch_size=8) as pipe:
+            for op, u, v in ops:
+                pipe.submit_op(op, u, v)
+        durable.close()
+        recovered = recover(tmp_path)
+        expected = DynamicMaxTruss(paper_example_graph())
+        expected.apply_batch(ops)
+        assert recovered.state.k_max == expected.k_max
+        assert recovered.state.truss_pairs() == expected.truss_pairs()
+        recovered.close()
+
+    def test_submit_defaults_to_insert(self):
+        state = DynamicMaxTruss(Graph.empty(0))
+        with IngestPipeline(state, batch_size=1) as pipe:
+            pipe.submit(0, 1)
+            pipe.submit(1, 2)
+            pipe.submit(0, 2)
+        assert state.k_max == 3
+
+
+class TestTriggersAndModes:
+    def test_size_trigger(self):
+        state = DynamicMaxTruss(Graph.empty(0))
+        pipe = IngestPipeline(state, window=50, batch_size=3)
+        pipe.submit(0, 1)
+        pipe.submit(1, 2)
+        assert pipe.queue_depth() == 2  # below threshold: nothing applied
+        pipe.submit(0, 2)
+        assert pipe.queue_depth() == 0
+        assert pipe.stats.flushes["size"] == 1
+        pipe.close()
+
+    def test_age_trigger_with_fake_clock(self):
+        now = [0.0]
+        state = DynamicMaxTruss(Graph.empty(0))
+        pipe = IngestPipeline(
+            state, window=50, batch_size=100, max_delay=1.0,
+            clock=lambda: now[0],
+        )
+        pipe.submit(0, 1)
+        assert pipe.queue_depth() == 1
+        now[0] = 0.5
+        pipe.submit(1, 2)
+        assert pipe.queue_depth() == 2  # oldest only 0.5s old
+        now[0] = 1.2
+        pipe.submit(0, 2)
+        assert pipe.queue_depth() == 0
+        assert pipe.stats.flushes["age"] == 1
+        pipe.close()
+
+    def test_pressure_trigger_under_block(self):
+        state = DynamicMaxTruss(Graph.empty(0))
+        pipe = IngestPipeline(
+            state, window=50, batch_size=100, queue_capacity=4,
+        )
+        for index in range(8):
+            pipe.submit(index, index + 1)
+        assert pipe.stats.flushes["pressure"] >= 1
+        assert pipe.stats.dropped == 0
+        pipe.close()
+        assert pipe.stats.applied_ops == 8
+
+    def test_reject_returns_false(self):
+        state = DynamicMaxTruss(Graph.empty(0))
+        pipe = IngestPipeline(
+            state, window=50, batch_size=100, queue_capacity=2,
+            backpressure="reject",
+        )
+        assert pipe.submit(0, 1) and pipe.submit(1, 2)
+        assert not pipe.submit(2, 3)
+        assert pipe.stats.rejected == 1
+        pipe.close()
+        assert state.k_max == 2
+
+    def test_drop_oldest_keeps_newest(self):
+        state = DynamicMaxTruss(Graph.empty(0))
+        pipe = IngestPipeline(
+            state, window=50, batch_size=100, queue_capacity=2,
+            backpressure="drop-oldest",
+        )
+        for edge in [(0, 1), (1, 2), (0, 2), (5, 6)]:
+            assert pipe.submit(*edge)
+        pipe.close()
+        assert pipe.stats.dropped == 2
+        # Only the two newest arrivals survived the queue.
+        assert sorted(state.truss_pairs()) == [(0, 2), (5, 6)]
+
+    def test_threaded_consumer_matches_sync(self):
+        edges = _random_edges(17, count=120, n=15)
+        threaded_state = DynamicMaxTruss(Graph.empty(0))
+        pipe = IngestPipeline(threaded_state, window=25, batch_size=8).start()
+        pipe.submit_many(edges)
+        pipe.flush()
+        assert pipe.queue_depth() == 0
+        pipe.close()
+        sync_state = DynamicMaxTruss(Graph.empty(0))
+        with IngestPipeline(sync_state, window=25, batch_size=8) as sync:
+            sync.submit_many(edges)
+        assert threaded_state.k_max == sync_state.k_max
+        assert threaded_state.truss_pairs() == sync_state.truss_pairs()
+
+    def test_threaded_blocking_backpressure(self):
+        edges = _random_edges(23, count=100, n=12)
+        state = DynamicMaxTruss(Graph.empty(0))
+        pipe = IngestPipeline(
+            state, window=20, batch_size=4, queue_capacity=8,
+        ).start()
+        pipe.submit_many(edges)  # must block, never drop
+        pipe.close()
+        assert pipe.stats.dropped == 0 and pipe.stats.rejected == 0
+        reference = SlidingWindowTruss(window=20)
+        reference.push_many(edges)
+        assert state.k_max == reference.k_max
+        assert state.truss_pairs() == reference.truss_pairs()
+
+
+class TestLifecycleAndErrors:
+    def test_submit_after_close_raises(self):
+        pipe = IngestPipeline(DynamicMaxTruss(Graph.empty(0)))
+        pipe.close()
+        pipe.close()  # idempotent
+        with pytest.raises(IngestError, match="closed"):
+            pipe.submit(0, 1)
+
+    def test_self_loop_rejected(self):
+        with IngestPipeline(DynamicMaxTruss(Graph.empty(0))) as pipe:
+            with pytest.raises(IngestError, match="self-loop"):
+                pipe.submit(3, 3)
+
+    def test_explicit_ops_invalid_in_window_mode(self):
+        with IngestPipeline(DynamicMaxTruss(Graph.empty(0)), window=5) as pipe:
+            with pytest.raises(IngestError, match="window mode"):
+                pipe.submit_op("delete", 0, 1)
+
+    def test_unknown_op_rejected(self):
+        with IngestPipeline(DynamicMaxTruss(Graph.empty(0))) as pipe:
+            with pytest.raises(IngestError, match="unknown"):
+                pipe.submit_op("upsert", 0, 1)
+
+    def test_invalid_parameters(self):
+        state = DynamicMaxTruss(Graph.empty(0))
+        with pytest.raises(IngestError):
+            IngestPipeline(state, batch_size=0)
+        with pytest.raises(IngestError):
+            IngestPipeline(state, queue_capacity=0)
+        with pytest.raises(IngestError):
+            IngestPipeline(state, window=0)
+        with pytest.raises(IngestError):
+            IngestPipeline(state, backpressure="spill")
+        with pytest.raises(IngestError):
+            IngestPipeline(object())
+
+    def test_sink_error_propagates_in_sync_mode(self):
+        graph = paper_example_graph()
+        u, v = map(int, graph.edges[0])
+        pipe = IngestPipeline(DynamicMaxTruss(graph), batch_size=1)
+        with pytest.raises(Exception, match="existing edge"):
+            pipe.submit_op("insert", u, v)  # edge already present
+
+    def test_consumer_error_surfaces_on_producer(self):
+        graph = paper_example_graph()
+        u, v = map(int, graph.edges[0])
+        pipe = IngestPipeline(DynamicMaxTruss(graph), batch_size=1).start()
+        pipe.submit_op("insert", u, v)  # duplicate: consumer will fail
+        with pytest.raises(IngestError, match="consumer failed"):
+            pipe.flush()
+
+    def test_from_config(self):
+        config = EngineConfig(
+            ingest_batch_size=7,
+            ingest_queue_capacity=31,
+            ingest_backpressure="reject",
+            ingest_max_delay=0.5,
+        ).validate()
+        pipe = IngestPipeline.from_config(
+            DynamicMaxTruss(Graph.empty(0)), config
+        )
+        assert pipe.batch_size == 7
+        assert pipe.queue_capacity == 31
+        assert pipe.backpressure == "reject"
+        assert pipe.max_delay == 0.5
+        pipe.close()
+
+    def test_config_validates_ingest_knobs(self):
+        from repro.errors import DeviceError
+
+        for bad in (
+            EngineConfig(ingest_batch_size=0),
+            EngineConfig(ingest_queue_capacity=0),
+            EngineConfig(ingest_backpressure="spill"),
+            EngineConfig(ingest_max_delay=0.0),
+        ):
+            with pytest.raises(DeviceError):
+                bad.validate()
+
+    def test_stats_throughput(self):
+        now = [100.0]
+        state = DynamicMaxTruss(Graph.empty(0))
+        pipe = IngestPipeline(
+            state, window=50, batch_size=2, clock=lambda: now[0]
+        )
+        pipe.submit(0, 1)
+        now[0] = 102.0
+        pipe.submit(1, 2)
+        pipe.close()
+        assert pipe.stats.elapsed_seconds == pytest.approx(2.0)
+        assert pipe.stats.edges_per_sec == pytest.approx(1.0)

@@ -154,6 +154,99 @@ class TestKillRecovery:
         recovered.close()
 
 
+class TestGroupCommitCrashes:
+    """Crash matrix at group-commit boundaries.
+
+    ``DurableMaintenance.apply`` writes a whole batch as one WAL group
+    (one write + one fsync). A crash tearing that write must leave a
+    durable prefix of the group's *records*, and recovery must equal a
+    from-scratch decomposition of exactly the operations those surviving
+    records carry — at every tear position and when the group's own
+    barrier is the thing that dies.
+    """
+
+    def _surviving_ops(self, recovered, *batches):
+        """The op-prefix implied by the records recovery actually saw.
+
+        Records are framed per ``apply`` call, so runs are computed per
+        batch (a same-op run spanning two batches is two records).
+        """
+        from repro.persistence.recovery import _runs
+
+        runs = [run for batch in batches for run in _runs(batch)]
+        count = recovered.last_recovery.replayed_records
+        assert count <= len(runs)
+        ops = []
+        for op, edges in runs[:count]:
+            ops.extend((op, u, v) for u, v in edges)
+        return ops
+
+    def _check_recovery(self, tmp_path, updates):
+        recovered = recover(tmp_path)
+        survived = self._surviving_ops(recovered, updates)
+        expected = _expected_state(survived)
+        assert recovered.state.k_max == expected.k_max
+        assert recovered.state.truss_pairs() == expected.truss_pairs()
+        recovered.close()
+        return len(survived)
+
+    @pytest.mark.parametrize(
+        "fraction", [0.0, 0.1, 0.25, 0.4, 0.55, 0.7, 0.85]
+    )
+    def test_torn_group_at_every_position(self, fraction, tmp_path):
+        updates = _updates(_graph())
+        injector = FaultInjector(torn_write_at=2, torn_fraction=fraction)
+        durable = durable_from_graph(_graph(), tmp_path, file_ops=injector)
+        with pytest.raises(SimulatedCrash):
+            durable.apply(updates)
+        survived = self._check_recovery(tmp_path, updates)
+        assert survived < len(updates)  # the tear lost at least the tail
+
+    def test_fsync_failure_after_partial_group(self, tmp_path):
+        """The group's own barrier dies: the write happened, durability is
+        undecided — recovery must be exact for whatever prefix survived
+        (here: anywhere from nothing to the whole group)."""
+        updates = _updates(_graph())
+        # Header write+fsync are ops 1-2, the group write is op 3; crash
+        # at op 4 = the group's fsync itself.
+        injector = FaultInjector(fail_after_ops=3)
+        durable = durable_from_graph(_graph(), tmp_path, file_ops=injector)
+        with pytest.raises(SimulatedCrash):
+            durable.apply(updates)
+        survived = self._check_recovery(tmp_path, updates)
+        assert survived <= len(updates)
+
+    def test_torn_second_group(self, tmp_path):
+        """First batch durable and checkpoint-free; the second group
+        tears. Recovery = batch one + surviving prefix of batch two."""
+        updates = _updates(_graph(), count=12)
+        first, second = updates[:5], updates[5:]
+        injector = FaultInjector(torn_write_at=3, torn_fraction=0.4)
+        durable = durable_from_graph(_graph(), tmp_path, file_ops=injector)
+        durable.apply(first)
+        with pytest.raises(SimulatedCrash):
+            durable.apply(second)
+        recovered = recover(tmp_path)
+        survived_second = self._surviving_ops(
+            recovered, first, second
+        )[len(first):]
+        expected = _expected_state(first + survived_second)
+        assert recovered.state.k_max == expected.k_max
+        assert recovered.state.truss_pairs() == expected.truss_pairs()
+        # Batch one was group-committed before the crash: never lost.
+        assert recovered.last_recovery.replayed_ops >= len(first)
+        recovered.close()
+
+    def test_crash_before_group_write_loses_whole_batch(self, tmp_path):
+        updates = _updates(_graph())
+        injector = FaultInjector(fail_after_ops=2)  # header only
+        durable = durable_from_graph(_graph(), tmp_path, file_ops=injector)
+        with pytest.raises(SimulatedCrash):
+            durable.apply(updates)
+        survived = self._check_recovery(tmp_path, updates)
+        assert survived == 0
+
+
 class TestLifecycle:
     def test_clean_close_and_recover(self, tmp_path):
         durable = durable_from_graph(paper_example_graph(), tmp_path)

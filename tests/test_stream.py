@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import max_truss_edges
-from repro.dynamic import SlidingWindowTruss
+from repro.dynamic import BoundedHistory, SlidingWindowTruss
 from repro.graph.memgraph import Graph
 
 
@@ -64,6 +64,53 @@ class TestWindowSemantics:
         assert stream.stats.arrivals == 3
         assert stream.stats.k_max_peak == 3
         assert stream.stats.k_max_history[-1] == 3
+
+
+class TestBoundedHistory:
+    def test_retains_last_capacity_values(self):
+        history = BoundedHistory(capacity=3)
+        for value in range(10):
+            history.append(value)
+        assert history.to_list() == [7, 8, 9]
+        assert len(history) == 3
+        assert history[-1] == 9 and history[0] == 7
+
+    def test_count_and_peak_survive_eviction(self):
+        history = BoundedHistory(capacity=2)
+        for value in (9, 1, 1, 1):
+            history.append(value)
+        # The peak value 9 was evicted long ago; the aggregates are exact.
+        assert history.count == 4
+        assert history.peak == 9
+        assert history.to_list() == [1, 1]
+
+    def test_equality_with_lists_and_histories(self):
+        history = BoundedHistory(capacity=4)
+        for value in (3, 4):
+            history.append(value)
+        assert history == [3, 4]
+        other = BoundedHistory(capacity=4)
+        other.append(3)
+        other.append(4)
+        assert history == other
+        other.append(5)
+        assert history != other
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            BoundedHistory(capacity=0)
+
+    def test_stream_history_is_bounded(self):
+        stream = SlidingWindowTruss(window=4, history_capacity=2)
+        for pair in [(0, 1), (1, 2), (0, 2), (5, 6), (6, 7)]:
+            stream.push(*pair)
+            stream.flush()
+        history = stream.stats.k_max_history
+        assert history.capacity == 2
+        assert len(history) == 2
+        assert history.count == 5
+        assert history.peak == 3  # the triangle flush, already evicted
+        assert stream.stats.k_max_peak == 3
 
 
 @pytest.mark.parametrize("batch_size", [1, 4])

@@ -86,6 +86,93 @@ class TestRoundtrip:
             wal.append("insert", [(0, 1)])
 
 
+class TestGroupCommit:
+    RECORDS = [
+        ("insert", [(0, 1), (2, 3)]),
+        ("delete", [(0, 1)]),
+        ("insert", [(4, 5)]),
+        ("insert", [(6, 7), (8, 9), (10, 11)]),
+    ]
+
+    def test_group_bytes_identical_to_individual_appends(self, tmp_path):
+        """The group is a framing no-op: the reader must not be able to
+        tell whether records were appended one by one or group-committed."""
+        grouped, single = str(tmp_path / "g.log"), str(tmp_path / "s.log")
+        with WriteAheadLog(grouped) as wal:
+            assert wal.append_group(self.RECORDS) == [1, 2, 3, 4]
+        with WriteAheadLog(single) as wal:
+            for op, edges in self.RECORDS:
+                wal.append(op, edges)
+        with open(grouped, "rb") as a, open(single, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_one_fsync_per_group(self, wal_path):
+        injector = FaultInjector()  # pure counter, no trigger
+        with WriteAheadLog(wal_path, file_ops=injector) as wal:
+            header_ops = injector.ops  # header write + fsync
+            wal.append_group(self.RECORDS)
+            group_ops = injector.ops - header_ops
+            group_writes = injector.writes - 1
+        # The whole group is ONE write and ONE barrier.
+        assert group_writes == 1
+        assert group_ops - group_writes == 1
+
+    def test_empty_group_is_a_noop(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            before = wal.next_seq
+            assert wal.append_group([]) == []
+            assert wal.next_seq == before
+        records, _, torn = read_wal(wal_path)
+        assert records == [] and not torn
+
+    def test_sequences_continue_after_group(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("insert", [(9, 9 + 1)])
+            assert wal.append_group(self.RECORDS) == [2, 3, 4, 5]
+            assert wal.append("delete", [(0, 1)]) == 6
+        records, _, _ = read_wal(wal_path)
+        assert [record.seq for record in records] == [1, 2, 3, 4, 5, 6]
+
+    def test_closed_log_rejects_groups(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.close()
+        with pytest.raises(GraphFormatError, match="closed"):
+            wal.append_group(self.RECORDS)
+
+    def test_unknown_op_rejected_before_any_write(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            with pytest.raises(GraphFormatError, match="unknown WAL operation"):
+                wal.append_group([("insert", [(0, 1)]), ("upsert", [(2, 3)])])
+        records, _, torn = read_wal(wal_path)
+        # The bad opcode poisoned the whole group: nothing became durable.
+        assert records == [] and not torn
+
+    @pytest.mark.parametrize(
+        "fraction", [0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9]
+    )
+    def test_torn_group_survives_as_record_prefix(self, fraction, wal_path):
+        """A crash mid-group leaves a durable *prefix* of its records —
+        never a suffix, never a half record — at every tear position."""
+        injector = FaultInjector(torn_write_at=2, torn_fraction=fraction)
+        wal = WriteAheadLog(wal_path, file_ops=injector)  # header is write 1
+        with pytest.raises(SimulatedCrash):
+            wal.append_group(self.RECORDS)
+        full = [
+            WalRecord(seq, op, tuple(edges))
+            for seq, (op, edges) in enumerate(self.RECORDS, start=1)
+        ]
+        records, truncated = repair_wal(wal_path)
+        prefix_len = len(records)
+        assert records == full[:prefix_len]
+        assert prefix_len < len(full)
+        assert truncated or fraction == 0.0
+        # After repair the log accepts the re-submitted group cleanly.
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_group(self.RECORDS)
+        records, _, torn = read_wal(wal_path)
+        assert not torn and len(records) == prefix_len + len(self.RECORDS)
+
+
 class TestTornTails:
     def _write_records(self, wal_path, count=4):
         with WriteAheadLog(wal_path) as wal:
