@@ -55,6 +55,12 @@ Sections
     bit-identical merged I/O bill (total + per-extent) — asserted, the
     ledger-merge contract — and the full-scale scan must reach
     ``PARALLEL_SPEEDUP_THRESHOLD`` at the top worker count.
+``serve``
+    The query service's price tag: membership throughput and p50/p95
+    latency against a served snapshot, plus the charged I/O bill per
+    point query. Every answer is asserted oracle-identical, and the
+    average membership bill must stay a vanishing fraction of one full
+    edge scan (the *o(edges)* point-query contract).
 
 Run standalone (not collected by the tier-1 suite)::
 
@@ -600,6 +606,82 @@ def bench_parallel(scan_graph, decomp_graph, reps: int, smoke: bool) -> dict:
     }
 
 
+def bench_serve(graph, queries: int, smoke: bool) -> dict:
+    """Query-service section: throughput, tail latency, charged I/O.
+
+    Runs *queries* membership requests against a served snapshot of
+    *graph* and records throughput plus p50/p95 latency. Two properties
+    are asserted, not just reported:
+
+    * **parity** — every membership answer equals the from-scratch
+      trussness oracle;
+    * **sublinearity** — the average charged bill of a membership probe
+      is a vanishing fraction of one full edge scan (the *o(edges)*
+      point-query contract; a change that silently degrades membership
+      to a scan fails the section).
+    """
+    from repro.baselines.inmemory import truss_decomposition
+    from repro.serve import QueryEngine, SnapshotManager
+
+    oracle = truss_decomposition(graph)
+    engine = QueryEngine(SnapshotManager.initial(graph), EngineConfig())
+
+    rng = np.random.default_rng(17)
+    eids = rng.integers(0, graph.m, size=queries)
+    latencies = []
+    read_ios = 0
+    bytes_read = 0
+    start_time = time.perf_counter()
+    for eid in eids:
+        u, v = (int(x) for x in graph.edges[int(eid)])
+        envelope = engine.execute(
+            {"op": "membership", "u": u, "v": v, "k": 3}
+        )
+        result = envelope["result"]
+        if (
+            result["trussness"] != int(oracle[int(eid)])
+            or result["member"] != bool(oracle[int(eid)] >= 3)
+            or envelope["io"]["write_ios"] != 0
+        ):
+            raise AssertionError(
+                f"served membership diverged from oracle on edge ({u}, {v})"
+            )
+        latencies.append(envelope["elapsed_ms"])
+        read_ios += envelope["io"]["read_ios"]
+        bytes_read += envelope["io"]["bytes_read"]
+    elapsed = time.perf_counter() - start_time
+
+    scan = engine.execute({"op": "export"})
+    avg_read_ios = read_ios / queries
+    avg_bytes = bytes_read / queries
+    # o(edges): a point probe must stay far below one full scan's bill.
+    sublinear = (
+        avg_read_ios * 10 <= scan["io"]["read_ios"]
+        and avg_bytes * 10 <= scan["io"]["bytes_read"]
+    )
+    latencies.sort()
+    return {
+        "graph": {"n": graph.n, "m": graph.m},
+        "queries": queries,
+        "throughput_qps": round(queries / elapsed, 1) if elapsed > 0 else None,
+        "latency_ms": {
+            "p50": latencies[len(latencies) // 2],
+            "p95": latencies[int(len(latencies) * 0.95)],
+        },
+        "membership": {
+            "avg_read_ios": round(avg_read_ios, 2),
+            "avg_bytes_read": round(avg_bytes, 1),
+            "scan_read_ios": scan["io"]["read_ios"],
+            "scan_bytes_read": scan["io"]["bytes_read"],
+        },
+        "parity_checked": queries,
+        # Parity is asserted at every scale; the sublinearity bar only
+        # gates full mode (a smoke-scale scan is a handful of blocks, so
+        # the x10 separation can't exist there).
+        "passed": bool(smoke or sublinear),
+    }
+
+
 def run(smoke: bool) -> dict:
     scan_cfg = SMOKE_SCAN_GRAPH if smoke else FULL_SCAN_GRAPH
     reps = 1 if smoke else 3
@@ -645,6 +727,11 @@ def run(smoke: bool) -> dict:
     parallel = bench_parallel(scan_graph, decomp_graph, reps, smoke)
     parallel["engine_config"] = config.describe()
 
+    serve_graph = gnm_random(n=120, m=2_000, seed=17) if smoke else gnm_random(
+        n=1_000, m=60_000, seed=17
+    )
+    serve = bench_serve(serve_graph, queries=50 if smoke else 500, smoke=smoke)
+
     return {
         "schema": 1,
         "mode": "smoke" if smoke else "full",
@@ -661,6 +748,7 @@ def run(smoke: bool) -> dict:
             "observability": observability,
             "ingest": ingest,
             "parallel": parallel,
+            "serve": serve,
         },
     }
 
@@ -733,8 +821,19 @@ def main(argv=None) -> int:
         f"{'pass' if parallel['passed'] else 'FAIL'}; "
         "merged bill bit-identical)"
     )
+    serve = report["benchmarks"]["serve"]
+    print(
+        f"serve: {serve['throughput_qps']} membership qps, "
+        f"p50 {serve['latency_ms']['p50']}ms / "
+        f"p95 {serve['latency_ms']['p95']}ms, "
+        f"{serve['membership']['avg_read_ios']} read I/Os per query vs "
+        f"{serve['membership']['scan_read_ios']} per scan "
+        f"({'pass' if serve['passed'] else 'FAIL'}; "
+        f"{serve['parity_checked']} answers oracle-identical)"
+    )
     return (
-        0 if accounting["passed"] and parallel["passed"] and ingest["passed"]
+        0 if accounting["passed"] and parallel["passed"]
+        and ingest["passed"] and serve["passed"]
         else 1
     )
 

@@ -29,12 +29,12 @@ from ..analysis.components import (
     vertex_connected_components,
 )
 from ..baselines.inmemory import truss_decomposition
-from ..engine.context import ContextLike
+from ..engine.context import ContextLike, ExecutionContext, resolve_context
 from ..graph.memgraph import Graph
 
 
 def _trussness_values(
-    graph: Graph, method: str, context: Optional[ContextLike]
+    graph: Graph, method: str, context: ExecutionContext
 ) -> np.ndarray:
     """Per-edge trussness via the requested decomposition route."""
     if method == "in-memory":
@@ -110,7 +110,12 @@ def truss_community(
         (default, uncharged) or ``"semi-external"`` (Bottom-Up's charged
         decomposition on the context's device).
     context:
-        Engine context charged by the semi-external route.
+        Ambient engine context (an :class:`ExecutionContext` or bare
+        :class:`~repro.engine.config.EngineConfig`), resolved the same way
+        the ``max_truss`` methods resolve theirs: the semi-external route
+        charges the caller's device, and the search runs inside a
+        ``community`` span on the caller's tracer — so a served community
+        query bills onto the request's own ledger.
 
     Returns ``None`` when no common community exists (e.g. queries in
     different components, or a query vertex is isolated).
@@ -126,15 +131,16 @@ def truss_community(
         return None
     if connectivity not in ("vertex", "triangle"):
         raise ValueError(f"unknown connectivity model {connectivity!r}")
-    values = (
-        trussness
-        if trussness is not None
-        else _trussness_values(graph, method, context)
-    )
-
-    if connectivity == "vertex":
-        return _vertex_community(graph, query, values)
-    return _triangle_community(graph, query, values)
+    ctx = resolve_context(context)
+    with ctx.span("community", kind="phase", connectivity=connectivity):
+        values = (
+            trussness
+            if trussness is not None
+            else _trussness_values(graph, method, ctx)
+        )
+        if connectivity == "vertex":
+            return _vertex_community(graph, query, values)
+        return _triangle_community(graph, query, values)
 
 
 def _vertex_community(graph, query, values) -> Optional[CommunityResult]:

@@ -15,6 +15,10 @@ Subcommands
   (group-commit WAL) and/or sliding-window.
 * ``trace`` — summarize or diff recorded trace files (``compute`` and
   ``maintain`` record one with ``--trace FILE``).
+* ``serve`` — answer truss queries over TCP (newline-delimited JSON)
+  against a graph, a durable state directory (with background snapshot
+  promotion), or a sharded partition directory.
+* ``partition`` — cut a graph into vertex-range shards for ``serve``.
 
 Graph operands accept dataset names, edge-list files, and ``.rgr`` images
 everywhere; ``--backend file`` runs any engine command against the real
@@ -419,6 +423,89 @@ def _pump_stream(pipe, stream, window: bool) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import Promoter, QueryEngine, ShardedRouter
+    from .serve.server import run_server
+    from .serve.snapshot import SnapshotManager, bootstrap_manager
+
+    sources = [s for s in (args.graph, args.durable, args.partition) if s]
+    if len(sources) != 1:
+        print("error: give exactly one of GRAPH, --durable DIR, or "
+              "--partition DIR", file=sys.stderr)
+        return 2
+    config = _engine_config(args)
+    config.serve_host = args.host
+    config.serve_port = args.port
+    config.serve_query_timeout = (
+        args.query_timeout if args.query_timeout and args.query_timeout > 0
+        else None
+    )
+    config.serve_promote_interval = args.promote_interval
+    config.validate()
+
+    promoter = None
+    router = None
+    if args.partition:
+        router = ShardedRouter(args.partition, config)
+        executor = router
+        described = (
+            f"partition {args.partition} ({len(router.engines)} shards, "
+            f"n={router.manifest.n}, m={router.manifest.m})"
+        )
+    elif args.durable:
+        manager = bootstrap_manager(args.durable)
+        promoter = Promoter(
+            manager, args.durable, interval=config.serve_promote_interval
+        )
+        promoter.start()
+        executor = QueryEngine(manager, config)
+        snapshot = manager.current()
+        described = (
+            f"durable state {args.durable} (n={snapshot.graph.n}, "
+            f"m={snapshot.graph.m}, wal_seq={snapshot.wal_seq}, "
+            f"promoting every {config.serve_promote_interval}s)"
+        )
+    else:
+        graph = _load_graph(args.graph, args.seed)
+        executor = QueryEngine(SnapshotManager.initial(graph), config)
+        described = f"{args.graph} (n={graph.n}, m={graph.m})"
+
+    def announce(address) -> None:
+        print(f"serving {described}", flush=True)
+        print(f"listening on {address[0]}:{address[1]}", flush=True)
+
+    try:
+        server = run_server(
+            executor,
+            host=config.serve_host,
+            port=config.serve_port,
+            query_timeout=config.serve_query_timeout,
+            on_started=announce,
+        )
+    finally:
+        if promoter is not None:
+            promoter.stop()
+        if router is not None:
+            router.close()
+    print(f"drained; served {server.requests_served} requests")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .serve.partition import write_partition
+
+    graph = _load_graph(args.graph, args.seed)
+    manifest = write_partition(graph, args.output, shards=args.shards)
+    print(f"partitioned {args.graph} (n={graph.n}, m={graph.m}, "
+          f"k_max={manifest.k_max}) into {args.shards} shards: {args.output}")
+    for shard in manifest.shards:
+        print(f"  shard {shard.shard_id}: vertices [{shard.lo}, {shard.hi}) "
+              f"edges={shard.edges} cut={shard.cut_edges}")
+    share = manifest.cut_edges / manifest.m if manifest.m else 0.0
+    print(f"cut edges: {manifest.cut_edges} ({share:.1%} of m)")
+    return 0
+
+
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
     import json
 
@@ -658,6 +745,62 @@ def build_parser() -> argparse.ArgumentParser:
     hierarchy.add_argument("--format", default="text",
                            choices=["text", "markdown", "csv"])
     hierarchy.set_defaults(func=_cmd_hierarchy)
+
+    serve = sub.add_parser(
+        "serve",
+        help="answer truss queries over TCP (newline-delimited JSON)",
+    )
+    serve.add_argument(
+        "graph", nargs="?", default=None,
+        help="graph to serve (edge-list/.rgr file or dataset name); "
+             "or use --durable / --partition",
+    )
+    serve.add_argument(
+        "--durable", default=None, metavar="DIR",
+        help="serve a durable maintenance directory (checkpoint + WAL); "
+             "a background promoter publishes fresh snapshots as the WAL "
+             "grows",
+    )
+    serve.add_argument(
+        "--partition", default=None, metavar="DIR",
+        help="serve a sharded partition directory (see 'repro partition') "
+             "through the scatter/gather router",
+    )
+    serve.add_argument(
+        "--host", default=EngineConfig().serve_host,
+        help="bind address",
+    )
+    serve.add_argument(
+        "--port", type=int, default=EngineConfig().serve_port,
+        help="bind port (0: ephemeral, announced on stdout)",
+    )
+    serve.add_argument(
+        "--query-timeout", type=float,
+        default=EngineConfig().serve_query_timeout, metavar="SECONDS",
+        help="per-query budget; past it the query answers a timeout "
+             "error envelope (0 or negative: no limit)",
+    )
+    serve.add_argument(
+        "--promote-interval", type=float,
+        default=EngineConfig().serve_promote_interval, metavar="SECONDS",
+        help="promoter poll interval for --durable",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    _add_engine_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    partition = sub.add_parser(
+        "partition",
+        help="cut a graph into vertex-range shards for sharded serving",
+    )
+    partition.add_argument("graph", help="edge-list/.rgr file or dataset name")
+    partition.add_argument("output", help="partition directory to write")
+    partition.add_argument(
+        "--shards", type=int, default=4,
+        help="number of degree-balanced vertex-range shards",
+    )
+    partition.add_argument("--seed", type=int, default=0)
+    partition.set_defaults(func=_cmd_partition)
     return parser
 
 

@@ -34,6 +34,7 @@ import os
 import struct
 import tempfile
 import zlib
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
@@ -154,6 +155,56 @@ def _save_checkpoint_impl(
         raise
     _fsync_directory(path)
     return len(payload)
+
+
+@dataclass(frozen=True)
+class CheckpointImage:
+    """The logical content of a checkpoint without the maintenance state.
+
+    A cheap read of the sections a snapshot promoter needs — vertex count,
+    ``k_max``, the WAL frontier, and the edge list — skipping the
+    :class:`DynamicMaxTruss` reconstruction (class rebuild, coreness cache,
+    charged adjacency rebuild) that :func:`load_checkpoint` performs.
+    """
+
+    n: int
+    k_max: int
+    wal_seq: int
+    #: ``(m, 3)`` rows of ``(u, v, stable_eid)`` in insertion order.
+    edges: np.ndarray
+
+
+def read_checkpoint_image(path: PathLike) -> CheckpointImage:
+    """Parse *path* into a :class:`CheckpointImage` (validates the CRC).
+
+    Read-only and side-effect free: safe against a live checkpoint file,
+    because :func:`save_checkpoint` replaces it atomically — a reader sees
+    either the old intact image or the new one.
+    """
+    with open(path, "rb") as handle:
+        payload = handle.read()
+    if len(payload) < _HEADER.size:
+        raise GraphFormatError(f"{path}: truncated checkpoint header")
+    magic, version = _HEADER.unpack(payload[: _HEADER.size])
+    if magic != _MAGIC:
+        raise GraphFormatError(f"{path}: bad checkpoint magic 0x{magic:08x}")
+    if version not in (_V1, _VERSION):
+        raise GraphFormatError(f"{path}: unsupported checkpoint version {version}")
+    if version >= _VERSION:
+        if len(payload) < _HEADER.size + _CRC.size:
+            raise GraphFormatError(f"{path}: truncated checkpoint trailer")
+        body, (crc,) = payload[: -_CRC.size], _CRC.unpack(payload[-_CRC.size:])
+        if zlib.crc32(body) != crc:
+            raise GraphFormatError(f"{path}: checkpoint checksum mismatch")
+        payload = body
+    reader = _Reader(payload[_HEADER.size:])
+    n = reader.one()
+    k_max = reader.one()
+    reader.one()  # insertions_since_refresh: irrelevant to the image
+    wal_seq = reader.one() if version >= _VERSION else 0
+    edge_count = reader.one()
+    edge_rows = reader.ints(3 * edge_count).reshape(-1, 3)
+    return CheckpointImage(n=n, k_max=k_max, wal_seq=wal_seq, edges=edge_rows)
 
 
 def load_checkpoint(

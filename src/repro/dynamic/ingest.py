@@ -123,6 +123,13 @@ class IngestPipeline:
     clock:
         Injectable monotonic clock (tests drive the age trigger with a
         fake one).
+    on_batch_applied:
+        Optional hook called as ``on_batch_applied(op_count)`` right after
+        each non-empty micro-batch lands in the sink. The serve layer uses
+        it to wake the snapshot promoter the moment new WAL records exist.
+        Must be cheap and non-blocking: in synchronous mode it runs under
+        the pipeline lock, and it must never call back into the pipeline.
+        A raising hook is treated like a consumer failure.
 
     Example
     -------
@@ -146,6 +153,7 @@ class IngestPipeline:
         backpressure: str = "block",
         max_delay: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        on_batch_applied: Optional[Callable[[int], None]] = None,
     ) -> None:
         if window is not None and window < 1:
             raise IngestError(f"window must be >= 1 or None, got {window}")
@@ -175,6 +183,7 @@ class IngestPipeline:
         self.backpressure = backpressure
         self.max_delay = max_delay
         self._clock = clock
+        self.on_batch_applied = on_batch_applied
         self.stats = IngestStats()
         self._queue: Deque[_Event] = deque()
         self._cond = threading.Condition()
@@ -193,6 +202,7 @@ class IngestPipeline:
     def from_config(
         cls, sink, config: EngineConfig, *, window: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
+        on_batch_applied: Optional[Callable[[int], None]] = None,
     ) -> "IngestPipeline":
         """Build a pipeline from the ``ingest_*`` knobs of *config*."""
         return cls(
@@ -203,6 +213,7 @@ class IngestPipeline:
             backpressure=config.ingest_backpressure,
             max_delay=config.ingest_max_delay,
             clock=clock,
+            on_batch_applied=on_batch_applied,
         )
 
     # ------------------------------------------------------------------ #
@@ -421,6 +432,8 @@ class IngestPipeline:
         self.stats.apply_seconds += self._clock() - start
         self.stats.applied_ops += len(ops)
         metrics.counter("ingest.ops_applied").inc(len(ops))
+        if self.on_batch_applied is not None:
+            self.on_batch_applied(len(ops))
 
     # -- threaded consumer ---------------------------------------------- #
 

@@ -101,6 +101,18 @@ class EngineConfig:
     ingest_max_delay:
         Age-based flush trigger in seconds (oldest queued event); ``None``
         disables the age trigger.
+    serve_host:
+        Bind address of the ``repro serve`` query server.
+    serve_port:
+        TCP port of the query server; ``0`` (default) asks the OS for an
+        ephemeral port (echoed on startup).
+    serve_query_timeout:
+        Per-query wall-clock budget in seconds; a query that exceeds it is
+        answered with a ``timeout`` error envelope. ``None`` disables the
+        timeout.
+    serve_promote_interval:
+        Poll interval in seconds of the snapshot promoter thread between
+        notifications (the ingest hook wakes it early).
 
     Example
     -------
@@ -126,6 +138,10 @@ class EngineConfig:
     ingest_queue_capacity: int = 1024
     ingest_backpressure: str = "block"
     ingest_max_delay: Optional[float] = None
+    serve_host: str = "127.0.0.1"
+    serve_port: int = 0
+    serve_query_timeout: Optional[float] = 30.0
+    serve_promote_interval: float = 0.5
 
     def validate(self) -> "EngineConfig":
         """Check field ranges (backend names are checked by the registry).
@@ -184,6 +200,22 @@ class EngineConfig:
                 f"ingest_max_delay must be positive or None, "
                 f"got {self.ingest_max_delay}"
             )
+        if not self.serve_host:
+            raise DeviceError("serve_host must be a non-empty address")
+        if not 0 <= self.serve_port <= 65535:
+            raise DeviceError(
+                f"serve_port must be in [0, 65535], got {self.serve_port}"
+            )
+        if self.serve_query_timeout is not None and self.serve_query_timeout <= 0:
+            raise DeviceError(
+                f"serve_query_timeout must be positive or None, "
+                f"got {self.serve_query_timeout}"
+            )
+        if self.serve_promote_interval <= 0:
+            raise DeviceError(
+                f"serve_promote_interval must be positive, "
+                f"got {self.serve_promote_interval}"
+            )
         return self
 
     def describe(self) -> Dict[str, Any]:
@@ -204,6 +236,10 @@ class EngineConfig:
             "ingest_queue_capacity": self.ingest_queue_capacity,
             "ingest_backpressure": self.ingest_backpressure,
             "ingest_max_delay": self.ingest_max_delay,
+            "serve_host": self.serve_host,
+            "serve_port": self.serve_port,
+            "serve_query_timeout": self.serve_query_timeout,
+            "serve_promote_interval": self.serve_promote_interval,
         }
 
     def summary(self) -> str:

@@ -52,6 +52,13 @@ class ExecutionContext:
         Pre-built device to pin (the ``device=`` adapter shim). When
         given, the backend field of *config* is ignored — the pinned
         device *is* the backend.
+    readonly:
+        When ``True``, the context's device rejects every write-side
+        touch (``touch_write`` / ``touch_write_batch`` / ``append_write``
+        and therefore ``DiskArray.scatter``) with a
+        :class:`~repro.errors.DeviceError`. The serve read path runs each
+        query under a readonly context to prove answers never mutate the
+        pinned snapshot.
 
     Example
     -------
@@ -65,9 +72,13 @@ class ExecutionContext:
         self,
         config: Optional[EngineConfig] = None,
         device: Optional[BlockDevice] = None,
+        readonly: bool = False,
     ) -> None:
         self.config = (config if config is not None else EngineConfig()).validate()
+        self.readonly = readonly
         self._device: Optional[BlockDevice] = device
+        if device is not None and readonly:
+            device.readonly = True
         self.stats: IOStats = device.stats if device is not None else IOStats()
         self.memory = MemoryMeter()
         #: ``(phase_name, IOStats delta)`` records appended by :meth:`phase`.
@@ -103,6 +114,8 @@ class ExecutionContext:
             self._device = make_device(
                 self.config, num_vertices, stats=self.stats
             )
+            if self.readonly:
+                self._device.readonly = True
             if self.tracer is not None:
                 self._device.enable_touch_counting()
             self.emit(

@@ -68,3 +68,12 @@ class TraceFormatError(ReproError):
 class IngestError(ReproError):
     """Invalid operation on an :class:`repro.dynamic.ingest.IngestPipeline`
     (submit after close, misuse of window mode, consumer failure)."""
+
+
+class ServeError(ReproError):
+    """A query-service request could not be answered (bad request, unknown
+    operation, query timeout, server shutting down)."""
+
+
+class PartitionError(ReproError):
+    """A partition manifest or shard image is invalid or inconsistent."""

@@ -1,0 +1,52 @@
+"""Truss query service: snapshot-isolated concurrent serving.
+
+The batch side of the repo builds and maintains a decomposition
+(:mod:`repro.persistence`, :mod:`repro.dynamic`); this package answers
+queries against it while ingestion keeps writing:
+
+* :mod:`~repro.serve.snapshot` — immutable :class:`Snapshot` bundles
+  (graph + trussness + ``wal_seq``), refcount-pinned by readers, published
+  atomically by the background :class:`Promoter` replaying the WAL (MVCC:
+  pin → promote → retire, readers never block on writers);
+* :mod:`~repro.serve.engine` — the per-request :class:`QueryEngine`
+  (membership / trussness / community / hierarchy / stats), every answer
+  carrying its snapshot id and charged-I/O bill from a read-only
+  :class:`~repro.engine.context.ExecutionContext`;
+* :mod:`~repro.serve.server` / :mod:`~repro.serve.client` — the asyncio
+  TCP server behind ``repro serve`` (newline-delimited JSON) and the
+  blocking client used by tests and CI;
+* :mod:`~repro.serve.partition` / :mod:`~repro.serve.router` — the
+  vertex-range shard manifest behind ``repro partition`` and the
+  scatter/gather router that fans queries over shards.
+"""
+
+from .engine import QueryAnswer, QueryEngine
+from .partition import (
+    PartitionManifest,
+    ShardInfo,
+    load_manifest,
+    write_partition,
+)
+from .protocol import decode_line, encode_envelope, error_envelope
+from .router import ShardedRouter
+from .server import TrussServer
+from .client import TrussClient
+from .snapshot import Promoter, Snapshot, SnapshotManager
+
+__all__ = [
+    "Promoter",
+    "PartitionManifest",
+    "QueryAnswer",
+    "QueryEngine",
+    "ShardInfo",
+    "ShardedRouter",
+    "Snapshot",
+    "SnapshotManager",
+    "TrussClient",
+    "TrussServer",
+    "decode_line",
+    "encode_envelope",
+    "error_envelope",
+    "load_manifest",
+    "write_partition",
+]

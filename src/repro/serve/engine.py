@@ -1,0 +1,365 @@
+"""Per-request query execution against a pinned snapshot.
+
+Every request runs against exactly one pinned :class:`Snapshot` through a
+fresh **read-only** :class:`~repro.engine.context.ExecutionContext`: the
+context's device registers the snapshot's arrays as extents
+(``serve.adj`` / ``serve.adj_eids`` / ``serve.tau`` / ``serve.edges``)
+and every byte the query logically reads is charged to that request's
+ledger — so an answer's ``io`` field is its honest Aggarwal–Vitter bill,
+and a write-side touch (a bug mutating served state) raises
+:class:`~repro.errors.DeviceError` instead of corrupting the snapshot.
+
+The point queries are the cheap ones the truss index exists for:
+``membership``/``trussness`` read one adjacency slice (the smaller
+endpoint's neighbour list, ``O(deg/B)`` blocks) plus one trussness cell —
+*o(edges)*, asserted in the ``serve`` benchmark section. ``community``
+and ``hierarchy`` are the linear-work queries: one sequential pass over
+the trussness extent (plus the edge table when endpoints are needed).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.components import (
+    triangle_connected_components,
+    vertex_connected_components,
+)
+from ..applications.community import truss_community
+from ..engine.config import EngineConfig
+from ..engine.context import ExecutionContext
+from ..errors import ServeError
+from ..observability.metrics import global_metrics
+from ..observability.tracer import trace_span
+from .protocol import ok_envelope, request_id_of, validate_request
+from .snapshot import Snapshot, SnapshotManager
+
+#: Latency-flavoured buckets for the ``serve.query_seconds`` histogram.
+LATENCY_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """A decoded answer envelope (convenience for python callers)."""
+
+    op: str
+    result: Dict[str, Any]
+    snapshot_id: int
+    wal_seq: int
+    read_ios: int
+    write_ios: int
+    elapsed_ms: float
+
+    @classmethod
+    def from_envelope(cls, envelope: Dict[str, Any]) -> "QueryAnswer":
+        if not envelope.get("ok"):
+            error = envelope.get("error", {})
+            raise ServeError(
+                f"{error.get('type', 'error')}: {error.get('message', '')}"
+            )
+        snapshot = envelope.get("snapshot", {})
+        io = envelope.get("io", {})
+        return cls(
+            op=envelope["op"],
+            result=envelope["result"],
+            snapshot_id=int(snapshot.get("id", 0)),
+            wal_seq=int(snapshot.get("wal_seq", 0)),
+            read_ios=int(io.get("read_ios", 0)),
+            write_ios=int(io.get("write_ios", 0)),
+            elapsed_ms=float(envelope.get("elapsed_ms", 0.0)),
+        )
+
+
+class _SnapshotReader:
+    """Charged access paths over one pinned snapshot.
+
+    Registers the snapshot's arrays as extents on the request's device;
+    actual payloads come straight from the shared numpy arrays (the
+    simulator's residency model — see ``storage/device.py``), so readers
+    share memory while each request pays its own block bill.
+    """
+
+    def __init__(self, snapshot: Snapshot, context: ExecutionContext) -> None:
+        self.snapshot = snapshot
+        graph = snapshot.graph
+        self.graph = graph
+        device = context.device_for(graph.n)
+        self._device = device
+        self._adj = device.allocate("serve.adj", 8 * len(graph.adj))
+        self._adj_eids = device.allocate("serve.adj_eids", 8 * len(graph.adj))
+        self._tau = device.allocate("serve.tau", 8 * graph.m)
+        self._edges = device.allocate("serve.edges", 16 * graph.m)
+
+    def check_vertex(self, v: int, name: str) -> int:
+        if not 0 <= v < self.graph.n:
+            raise ServeError(
+                f"vertex {name}={v} out of range [0, {self.graph.n})"
+            )
+        return v
+
+    def edge_lookup(self, u: int, v: int) -> int:
+        """Edge id of ``(u, v)`` or ``-1``, charging the neighbour probe.
+
+        Reads the smaller-degree endpoint's adjacency slice (the classic
+        adjacency-probe bound: ``O(min_deg / B)`` blocks).
+        """
+        graph = self.graph
+        if graph.degree(v) < graph.degree(u):
+            u, v = v, u
+        start = int(graph.offsets[u])
+        degree = graph.degree(u)
+        self._device.touch_read(self._adj, 8 * start, 8 * degree)
+        nbrs = graph.neighbors(u)
+        pos = int(np.searchsorted(nbrs, v))
+        if pos >= degree or int(nbrs[pos]) != v:
+            return -1
+        self._device.touch_read(self._adj_eids, 8 * (start + pos), 8)
+        return int(graph.neighbor_eids(u)[pos])
+
+    def tau_of(self, eid: int) -> int:
+        """One trussness cell (a single indexed block touch)."""
+        self._device.touch_read(self._tau, 8 * eid, 8)
+        return int(self.snapshot.trussness[eid])
+
+    def scan_tau(self) -> np.ndarray:
+        """The whole trussness array: one sequential extent pass."""
+        self._device.touch_read(self._tau, 0, 8 * self.graph.m)
+        return self.snapshot.trussness
+
+    def scan_edges(self, eids: Optional[np.ndarray] = None) -> np.ndarray:
+        """Edge endpoint rows (all, or the selected ids), charged."""
+        if eids is None:
+            self._device.touch_read(self._edges, 0, 16 * self.graph.m)
+            return self.graph.edges
+        eids = np.asarray(eids, dtype=np.int64)
+        self._device.touch_read_batch(self._edges, 16 * eids, 16)
+        return self.graph.edges[eids]
+
+
+class QueryEngine:
+    """Executes protocol requests against a :class:`SnapshotManager`.
+
+    Thread-safe: each :meth:`execute` pins its own snapshot and builds its
+    own read-only context/device, so the server can dispatch queries onto
+    worker threads freely while the promoter publishes.
+    """
+
+    def __init__(
+        self,
+        manager: SnapshotManager,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.manager = manager
+        self.config = (config if config is not None else EngineConfig()).validate()
+
+    # ------------------------------------------------------------------ #
+    # protocol entry point
+    # ------------------------------------------------------------------ #
+
+    def execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one request dict with a response envelope.
+
+        Raises :class:`ServeError` for malformed requests (the server
+        wraps those in ``bad_request`` envelopes); unexpected exceptions
+        propagate (wrapped as ``internal`` by the server).
+        """
+        request_id = request_id_of(request)
+        op, params = validate_request(request)
+        if op == "shutdown":
+            raise ServeError("shutdown is a server operation, not a query")
+        start = time.perf_counter()
+        with self.manager.pinned() as snapshot:
+            context = ExecutionContext(self.config, readonly=True)
+            try:
+                reader = _SnapshotReader(snapshot, context)
+                with trace_span("serve.query", kind="query", op=op):
+                    result = self._dispatch(op, params, reader, context)
+                bill = context.stats.snapshot()
+            finally:
+                context.close()
+        elapsed = time.perf_counter() - start
+        metrics = global_metrics()
+        metrics.counter("serve.requests", op=op).inc()
+        metrics.counter("serve.charged_read_ios", op=op).inc(bill.read_ios)
+        metrics.histogram(
+            "serve.query_seconds", buckets=LATENCY_BUCKETS
+        ).observe(elapsed)
+        return ok_envelope(
+            request_id,
+            op,
+            result,
+            {"id": snapshot.snapshot_id, "wal_seq": snapshot.wal_seq},
+            {
+                "read_ios": bill.read_ios,
+                "write_ios": bill.write_ios,
+                "bytes_read": bill.bytes_read,
+            },
+            elapsed * 1000.0,
+        )
+
+    def _dispatch(
+        self,
+        op: str,
+        params: Dict[str, Any],
+        reader: _SnapshotReader,
+        context: ExecutionContext,
+    ) -> Dict[str, Any]:
+        if op == "membership":
+            return self._membership(reader, params["u"], params["v"], params["k"])
+        if op == "trussness":
+            return self._trussness(reader, params["u"], params["v"])
+        if op == "community":
+            return self._community(
+                reader, params["q"], params["k"], params["connectivity"],
+                params["include_edges"], context,
+            )
+        if op == "hierarchy":
+            return self._hierarchy(reader, params["k"])
+        if op == "export":
+            return self._export(reader, params["k"])
+        if op == "stats":
+            return self._stats(reader)
+        raise ServeError(f"unhandled op {op!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # point queries (o(edges) charged I/O)
+    # ------------------------------------------------------------------ #
+
+    def _trussness(self, reader, u: int, v: int) -> Dict[str, Any]:
+        reader.check_vertex(u, "u")
+        reader.check_vertex(v, "v")
+        if u == v:
+            raise ServeError("u and v must differ")
+        eid = reader.edge_lookup(u, v)
+        if eid < 0:
+            return {"present": False, "trussness": None}
+        return {"present": True, "trussness": reader.tau_of(eid)}
+
+    def _membership(self, reader, u: int, v: int, k: int) -> Dict[str, Any]:
+        answer = self._trussness(reader, u, v)
+        tau = answer["trussness"]
+        answer["k"] = k
+        answer["member"] = tau is not None and tau >= k
+        return answer
+
+    # ------------------------------------------------------------------ #
+    # linear-work queries
+    # ------------------------------------------------------------------ #
+
+    def _community(
+        self,
+        reader,
+        q: int,
+        k: Optional[int],
+        connectivity: str,
+        include_edges: bool,
+        context: ExecutionContext,
+    ) -> Dict[str, Any]:
+        reader.check_vertex(q, "q")
+        graph = reader.graph
+        values = reader.scan_tau()
+        if k is None:
+            # Maximum-trussness community: the decreasing-trussness sweep
+            # reads every edge's endpoints alongside its trussness. The
+            # request's (read-only) context rides along so the search
+            # spans/charges land on this request's ledger.
+            reader.scan_edges()
+            found = truss_community(
+                graph, [q], connectivity=connectivity, trussness=values,
+                context=context,
+            )
+            if found is None:
+                return {"found": False}
+            return self._community_result(
+                found.k, found.edges, found.vertices, include_edges
+            )
+        # Fixed-k membership community: the connected component of the
+        # trussness >= k subgraph containing q.
+        eids = np.nonzero(values >= k)[0]
+        rows = reader.scan_edges(eids)
+        pairs = [(int(a), int(b)) for a, b in rows]
+        split = (
+            vertex_connected_components
+            if connectivity == "vertex"
+            else triangle_connected_components
+        )
+        for component in split(pairs):
+            vertices = sorted({x for edge in component for x in edge})
+            if q in vertices:
+                return self._community_result(
+                    k, component, vertices, include_edges
+                )
+        return {"found": False}
+
+    @staticmethod
+    def _community_result(
+        k: int,
+        edges: List[Tuple[int, int]],
+        vertices: List[int],
+        include_edges: bool,
+    ) -> Dict[str, Any]:
+        result = {
+            "found": True,
+            "k": int(k),
+            "size": len(vertices),
+            "edge_count": len(edges),
+            "vertices": [int(v) for v in vertices],
+        }
+        if include_edges:
+            result["edges"] = [[int(a), int(b)] for a, b in sorted(edges)]
+        return result
+
+    def _hierarchy(self, reader, k: Optional[int]) -> Dict[str, Any]:
+        values = reader.scan_tau()
+        if k is None:
+            if len(values) == 0:
+                return {"k_max": 0, "levels": {}}
+            counts = np.bincount(values)
+            levels = {
+                str(level): int(count)
+                for level, count in enumerate(counts)
+                if count and level >= 2
+            }
+            return {"k_max": int(values.max()), "levels": levels}
+        eids = np.nonzero(values >= k)[0]
+        rows = reader.scan_edges(eids)
+        pairs = [(int(a), int(b)) for a, b in rows]
+        components = vertex_connected_components(pairs)
+        return {
+            "k": int(k),
+            "edges": len(pairs),
+            "communities": len(components),
+        }
+
+    def _export(self, reader, k: Optional[int]) -> Dict[str, Any]:
+        """Charged dump of (edges, trussness) rows — the router's gather
+        primitive: per-shard exports union to the exact full answer set
+        because edge ownership is a partition."""
+        values = reader.scan_tau()
+        if k is None:
+            rows = reader.scan_edges()
+            taus = values
+        else:
+            eids = np.nonzero(values >= k)[0]
+            rows = reader.scan_edges(eids)
+            taus = values[eids]
+        return {
+            "edges": [[int(a), int(b)] for a, b in rows],
+            "trussness": [int(t) for t in taus],
+        }
+
+    def _stats(self, reader) -> Dict[str, Any]:
+        snapshot = reader.snapshot
+        return {
+            "n": snapshot.graph.n,
+            "m": snapshot.graph.m,
+            "k_max": snapshot.k_max,
+            "snapshot_id": snapshot.snapshot_id,
+            "wal_seq": snapshot.wal_seq,
+        }

@@ -100,6 +100,10 @@ class BlockDevice:
         self.block_size = block_size
         self.cache_blocks = cache_blocks
         self.stats = stats if stats is not None else IOStats()
+        #: When set, every write-side touch raises :class:`DeviceError`.
+        #: The serve read path flips this on to prove queries cannot mutate
+        #: a published snapshot (see ``ExecutionContext(readonly=True)``).
+        self.readonly = False
         # extent id -> (name, size in bytes)
         self._extents: Dict[int, Tuple[str, int]] = {}
         self._extent_names: Dict[int, str] = {}
@@ -299,6 +303,13 @@ class BlockDevice:
         elif write and not cached:
             self._cache.set_dirty(key, True)
 
+    def _require_writable(self) -> None:
+        if self.readonly:
+            raise DeviceError(
+                "write touch on a read-only device (snapshot queries must "
+                "not mutate served state)"
+            )
+
     def touch_read(self, extent: int, offset: int, nbytes: int) -> None:
         """Charge the I/O for reading *nbytes* at *offset* of *extent*."""
         blocks = self._block_range(extent, offset, nbytes)
@@ -314,6 +325,7 @@ class BlockDevice:
         write), except when the write covers the whole block, in which case
         no read is charged.
         """
+        self._require_writable()
         block_size = self.block_size
         blocks = self._block_range(extent, offset, nbytes)
         if self._touch_counts is not None and len(blocks):
@@ -493,6 +505,7 @@ class BlockDevice:
         whose first access does not cover its whole block) and identical
         cache state to the scalar loop.
         """
+        self._require_writable()
         offsets, lengths = self._normalize_batch(offsets, lengths)
         if offsets.size <= _SMALL_BATCH:
             if isinstance(lengths, int):
@@ -516,6 +529,7 @@ class BlockDevice:
 
     def append_write(self, extent: int, offset: int, nbytes: int) -> None:
         """Charge sequential append-style writes (no read-before-write)."""
+        self._require_writable()
         blocks = self._block_range(extent, offset, nbytes)
         if self._touch_counts is not None and len(blocks):
             self._bump_touches(extent, len(blocks))
@@ -594,15 +608,18 @@ class InMemoryBlockDevice(BlockDevice):
         self._check_extent(extent)
 
     def touch_write(self, extent: int, offset: int, nbytes: int) -> None:
+        self._require_writable()
         self._check_extent(extent)
 
     def touch_read_batch(self, extent: int, offsets, lengths) -> None:
         self._check_extent(extent)
 
     def touch_write_batch(self, extent: int, offsets, lengths) -> None:
+        self._require_writable()
         self._check_extent(extent)
 
     def append_write(self, extent: int, offset: int, nbytes: int) -> None:
+        self._require_writable()
         self._check_extent(extent)
 
     def flush(self) -> None:

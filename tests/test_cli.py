@@ -306,3 +306,64 @@ class TestHierarchy:
     def test_markdown_format(self, example_file, capsys):
         assert main(["hierarchy", example_file, "--format", "markdown"]) == 0
         assert "| k" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_requires_exactly_one_source(self, capsys, tmp_path):
+        assert main(["serve"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main([
+            "serve", "cagrqc-s", "--durable", str(tmp_path)
+        ]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_durable_without_checkpoint_is_typed_error(self, capsys, tmp_path):
+        assert main(["serve", "--durable", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_serve_announces_and_drains(self, example_file, capsys):
+        # In-process end-to-end: a helper thread connects to the announced
+        # port, runs one query, and asks the server to drain.
+        import re
+        import threading
+
+        from repro.serve import TrussClient
+
+        answers = []
+
+        def probe(address):
+            host, port = address
+            with TrussClient(host, port) as client:
+                answers.append(client.stats().result)
+                client.shutdown()
+
+        # _cmd_serve imports run_server lazily, so patching the server
+        # module's attribute intercepts the CLI's call.
+        from repro.serve import server as server_module
+
+        real_run_server = server_module.run_server
+
+        def wrapped(engine, host, port, query_timeout, on_started=None):
+            def announce_and_probe(address):
+                if on_started is not None:
+                    on_started(address)
+                threading.Thread(
+                    target=probe, args=(address,), daemon=True
+                ).start()
+
+            return real_run_server(
+                engine, host=host, port=port, query_timeout=query_timeout,
+                on_started=announce_and_probe,
+            )
+
+        server_module.run_server = wrapped
+        try:
+            assert main(["serve", example_file, "--port", "0"]) == 0
+        finally:
+            server_module.run_server = real_run_server
+        out = capsys.readouterr().out
+        assert re.search(r"listening on 127\.0\.0\.1:\d+", out)
+        assert "drained; served 1 requests" in out
+        assert answers and answers[0]["m"] == 15

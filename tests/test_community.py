@@ -108,3 +108,54 @@ class TestMaxTrussCommunities:
 
     def test_empty(self):
         assert max_truss_communities(Graph.empty(2)) == []
+
+
+class TestAmbientContext:
+    """truss_community resolves an ambient context like max_truss does."""
+
+    def test_search_runs_inside_community_span(self):
+        from repro.engine import ExecutionContext
+        from repro.observability import Tracer
+
+        records = []
+        context = ExecutionContext()
+        context.attach_tracer(Tracer(records.append))
+        result = truss_community(paper_example_graph(), [0], context=context)
+        context.close()
+        assert result.k == 4
+        assert any(
+            record.get("type") == "span" and record.get("name") == "community"
+            for record in records
+        )
+
+    def test_semi_external_charges_callers_device(self):
+        from repro.engine import ExecutionContext
+
+        with ExecutionContext() as context:
+            result = truss_community(
+                paper_example_graph(), [0], method="semi-external",
+                context=context,
+            )
+            assert result.k == 4
+            assert context.stats.snapshot().read_ios > 0
+
+    def test_bare_config_accepted(self):
+        from repro.engine import EngineConfig
+
+        result = truss_community(
+            paper_example_graph(), [0], context=EngineConfig(block_size=512)
+        )
+        assert result.k == 4
+
+    def test_readonly_context_with_precomputed_trussness(self):
+        # A served community query: read-only context, trussness supplied —
+        # the search itself must never write.
+        from repro.engine import ExecutionContext
+
+        graph = paper_example_graph()
+        values = truss_decomposition(graph)
+        context = ExecutionContext(readonly=True)
+        result = truss_community(graph, [0], trussness=values, context=context)
+        assert result.k == 4
+        assert context.stats.snapshot().write_ios == 0
+        context.close()
