@@ -1,0 +1,50 @@
+"""Approximate answer tier: sampled estimates with confidence bounds.
+
+Promotes the wedge-sampling stub of ``repro.semiexternal.estimation``
+into a first-class subsystem (ROADMAP "Approximate tier"): charged
+sampling estimators (:mod:`~repro.approx.estimators`), the
+:class:`~repro.approx.estimate.Estimate` envelope they all speak, and the
+:class:`~repro.approx.engine.ApproxEngine` that serves trussness /
+``k_max`` / membership-likelihood queries from cached sampled state.
+
+Three integration points:
+
+* ``max_truss(method="semi-binary", estimate_bounds=True)`` — the
+  estimator's ``[k_lo, k_hi]`` envelope narrows the binary-search
+  interval (fewer full support scans, bit-identical decomposition);
+* the serve tier's ``precision: "approx"`` request parameter — sublinear
+  per-query answers carrying ``{estimate, ci, confidence, samples}``;
+* the ``repro estimate`` CLI.
+"""
+
+from .engine import ApproxEngine, build_approx_engine
+from .estimate import Estimate, hoeffding_samples, normal_quantile, wilson_interval
+from .estimators import (
+    AdjacencyProbe,
+    SupportSample,
+    estimate_edge_support,
+    estimate_kmax,
+    estimate_triangle_count,
+    kmax_from_sample,
+    max_support_from_sample,
+    sample_budget,
+    sample_edge_supports,
+)
+
+__all__ = [
+    "ApproxEngine",
+    "build_approx_engine",
+    "Estimate",
+    "normal_quantile",
+    "wilson_interval",
+    "hoeffding_samples",
+    "AdjacencyProbe",
+    "SupportSample",
+    "sample_budget",
+    "estimate_triangle_count",
+    "sample_edge_supports",
+    "max_support_from_sample",
+    "kmax_from_sample",
+    "estimate_kmax",
+    "estimate_edge_support",
+]

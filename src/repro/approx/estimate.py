@@ -1,0 +1,205 @@
+"""Estimate objects and confidence-interval arithmetic for the approx tier.
+
+Every sampled answer the approximate tier produces is an
+:class:`Estimate`: a point value, a two-sided confidence interval at an
+explicit confidence level, the number of samples spent, and the charged
+I/O the sampling cost (measured through the same block-device ledger the
+exact algorithms bill against — the sublinearity claim is *measured*).
+
+The interval machinery is deliberately dependency-free:
+
+* :func:`normal_quantile` — the inverse standard normal CDF via Acklam's
+  rational approximation (|error| < 1.15e-9 over the open unit interval),
+  enough for confidence levels, which never need more than a few digits;
+* :func:`wilson_interval` — the Wilson score interval for a binomial
+  proportion, which stays inside ``[0, 1]`` and behaves at 0/n and n/n
+  (where the naive Wald interval collapses);
+* :func:`hoeffding_samples` — the distribution-free sample count for a
+  mean of ``[0, 1]`` variables to land within ``epsilon`` at the given
+  confidence: ``ceil(ln(2 / (1 - confidence)) / (2 * epsilon**2))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "Estimate",
+    "normal_quantile",
+    "wilson_interval",
+    "hoeffding_samples",
+]
+
+# Acklam's coefficients for the rational approximation of the inverse
+# standard normal CDF (central region and tails).
+_A = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+      1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+_B = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+      6.680131188771972e+01, -1.328068155288572e+01)
+_C = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+      -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+_D = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+      3.754408661907416e+00)
+_P_LOW = 0.02425
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard normal CDF ``Phi^-1(p)`` for ``0 < p < 1``.
+
+    >>> round(normal_quantile(0.975), 4)
+    1.96
+    >>> round(normal_quantile(0.5), 10)
+    0.0
+    >>> normal_quantile(0.025) == -normal_quantile(0.975)
+    True
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    if p < _P_LOW:
+        q = math.sqrt(-2.0 * math.log(p))
+        return ((((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q + _C[4])
+                 * q + _C[5])
+                / ((((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0))
+    if p > 1.0 - _P_LOW:
+        return -normal_quantile(1.0 - p)
+    q = p - 0.5
+    r = q * q
+    return ((((((_A[0] * r + _A[1]) * r + _A[2]) * r + _A[3]) * r + _A[4])
+             * r + _A[5]) * q
+            / (((((_B[0] * r + _B[1]) * r + _B[2]) * r + _B[3]) * r + _B[4])
+               * r + 1.0))
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` with ``0 <= low <= successes/trials <= high <= 1``.
+
+    >>> low, high = wilson_interval(50, 100, 0.95)
+    >>> low < 0.5 < high
+    True
+    >>> wilson_interval(0, 0, 0.95)
+    (0.0, 1.0)
+    >>> wilson_interval(0, 200, 0.95)[0]
+    0.0
+    """
+    if trials <= 0:
+        return 0.0, 1.0
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} out of range [0, {trials}]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    z = normal_quantile(1.0 - (1.0 - confidence) / 2.0)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2.0 * trials)) / denom
+    half = (z / denom) * math.sqrt(
+        p * (1.0 - p) / trials + z * z / (4.0 * trials * trials)
+    )
+    # Clamp through p: the score interval always contains the point
+    # estimate analytically, but float rounding at 0/n and n/n can nudge
+    # an endpoint past it (e.g. high = 1 - 1ulp when p = 1.0).
+    return max(0.0, min(center - half, p)), min(1.0, max(center + half, p))
+
+
+def hoeffding_samples(epsilon: float, confidence: float) -> int:
+    """Samples needed for a ``[0, 1]``-mean to land within *epsilon*.
+
+    Distribution-free (Hoeffding): ``ceil(ln(2 / delta) / (2 eps^2))``
+    with ``delta = 1 - confidence``.
+
+    >>> hoeffding_samples(0.1, 0.95)
+    185
+    >>> hoeffding_samples(0.05, 0.95) > hoeffding_samples(0.1, 0.95)
+    True
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return math.ceil(math.log(2.0 / (1.0 - confidence)) / (2.0 * epsilon ** 2))
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """One sampled answer with its confidence envelope and I/O bill.
+
+    Attributes
+    ----------
+    value:
+        Point estimate.
+    ci_low / ci_high:
+        Two-sided confidence interval at *confidence*. For census runs
+        (the sample covered the whole population) the interval collapses
+        to the exact value and *confidence* is 1.0.
+    confidence:
+        Nominal coverage of the interval (e.g. 0.95).
+    samples:
+        Samples spent producing this estimate.
+    charged_io:
+        Read I/Os billed to the block device by the sampling probes.
+
+    >>> est = Estimate(10.0, 8.0, 12.5, 0.95, 200, 17)
+    >>> est.covers(9.0), est.covers(13.0)
+    (True, False)
+    >>> est.width()
+    4.5
+    >>> sorted(est.to_dict())
+    ['ci', 'confidence', 'estimate', 'samples']
+    """
+
+    value: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+    samples: int
+    charged_io: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.ci_low <= self.value <= self.ci_high:
+            raise ValueError(
+                f"estimate {self.value} outside its interval "
+                f"[{self.ci_low}, {self.ci_high}]"
+            )
+
+    @classmethod
+    def exact(
+        cls, value: float, samples: int = 0, charged_io: int = 0
+    ) -> "Estimate":
+        """A degenerate estimate for a value known exactly (census runs).
+
+        >>> Estimate.exact(4).width()
+        0.0
+        """
+        return cls(float(value), float(value), float(value), 1.0,
+                   samples, charged_io)
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the interval has collapsed to a point."""
+        return self.ci_low == self.ci_high
+
+    def covers(self, true_value: float) -> bool:
+        """Is *true_value* inside the confidence interval?"""
+        return self.ci_low <= true_value <= self.ci_high
+
+    def width(self) -> float:
+        """Interval width ``ci_high - ci_low``."""
+        return self.ci_high - self.ci_low
+
+    def with_io(self, charged_io: int) -> "Estimate":
+        """A copy with the charged-I/O bill replaced (post-measurement)."""
+        return replace(self, charged_io=int(charged_io))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The envelope payload served for ``precision=approx`` answers."""
+        return {
+            "estimate": self.value,
+            "ci": [self.ci_low, self.ci_high],
+            "confidence": self.confidence,
+            "samples": self.samples,
+        }

@@ -112,6 +112,22 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="worker processes for the sharded kernels (0/1: serial; "
              "the charged I/O bill is identical either way)",
     )
+    approx = parser.add_argument_group("approximate tier")
+    approx.add_argument(
+        "--approx-epsilon", type=float,
+        default=EngineConfig().approx_epsilon, metavar="EPS",
+        help="target CI half-width of the sampling estimators",
+    )
+    approx.add_argument(
+        "--approx-confidence", type=float,
+        default=EngineConfig().approx_confidence, metavar="CONF",
+        help="nominal CI coverage of approximate answers",
+    )
+    approx.add_argument(
+        "--approx-seed", type=int,
+        default=EngineConfig().approx_seed, metavar="SEED",
+        help="base seed of every estimator RNG (runs are replayable)",
+    )
 
 
 def _engine_config(args: argparse.Namespace) -> EngineConfig:
@@ -124,16 +140,39 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         data_dir=args.data_dir,
         fsync_policy=args.fsync,
         workers=args.workers,
+        approx_epsilon=args.approx_epsilon,
+        approx_confidence=args.approx_confidence,
+        approx_seed=args.approx_seed,
     ).validate()
 
 
 def _cmd_compute(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.seed)
     config = _engine_config(args)
+    kwargs = {}
+    if getattr(args, "estimate_bounds", False):
+        if args.method != "semi-binary":
+            print("error: --estimate-bounds requires --method semi-binary",
+                  file=sys.stderr)
+            return 2
+        kwargs["estimate_bounds"] = True
     context = ExecutionContext(config)
     with _maybe_trace(context, args.trace):
         with context:
-            result = max_truss(graph, method=args.method, context=context)
+            result = max_truss(
+                graph, method=args.method, context=context, **kwargs
+            )
+    if kwargs.get("estimate_bounds"):
+        # Estimator diagnostics go to stderr: stdout stays byte-identical
+        # with the default path (the equivalence CI check diffs it).
+        interval = result.extras.get("estimate_interval")
+        print(
+            f"estimator interval: {interval} "
+            f"(samples={result.extras.get('estimator_samples')}, "
+            f"read I/Os={result.extras.get('estimator_io')}, "
+            f"support scans={result.extras.get('support_scans')})",
+            file=sys.stderr,
+        )
     if args.trace:
         print(f"trace written to {args.trace}", file=sys.stderr)
     if args.format != "plain":
@@ -179,16 +218,32 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    from .semiexternal.estimation import estimate_triangles
+    from .approx import build_approx_engine
 
     graph = _load_graph(args.graph, args.seed)
-    estimate = estimate_triangles(graph, samples=args.samples, seed=args.seed)
+    config = _engine_config(args)
+    with ExecutionContext(config) as context:
+        engine = build_approx_engine(graph, context=context)
+        kmax = engine.kmax()
+        triangles = engine.triangles()
+        max_support = engine.max_support()
+        build_io = engine.build_charged_io
+
+    def describe(name, estimate, digits=1):
+        print(
+            f"{name}: {estimate.value:.{digits}f} "
+            f"(CI [{estimate.ci_low:.{digits}f}, {estimate.ci_high:.{digits}f}] "
+            f"@ {estimate.confidence:.0%}, samples={estimate.samples})"
+        )
+
     print(f"graph: n={graph.n} m={graph.m}")
-    print(f"wedges: {estimate.wedges}")
-    print(f"sampled wedges: {estimate.samples}")
-    print(f"closure rate: {estimate.closure_rate:.4f}")
-    print(f"estimated triangles: {estimate.triangles:.0f}")
-    print(f"Lemma 1 seed: {estimate.lemma1_seed(graph.m)}")
+    print(f"engine: {config.summary()}")
+    print(f"estimator: epsilon={engine.epsilon} "
+          f"confidence={engine.confidence} seed={engine.seed}")
+    describe("estimated triangles", triangles)
+    describe("estimated max support", max_support)
+    describe("estimated k_max", kmax)
+    print(f"estimator read I/Os: {build_io}")
     return 0
 
 
@@ -577,6 +632,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a structured trace (spans with exact I/O attribution) "
              "to FILE; inspect with 'repro trace summary FILE'",
     )
+    compute.add_argument(
+        "--estimate-bounds", action="store_true",
+        help="seed the semi-binary search interval from the sampling "
+             "estimators (fewer full support scans, bit-identical result; "
+             "semi-binary only)",
+    )
     _add_engine_flags(compute)
     compute.set_defaults(func=_cmd_compute)
 
@@ -594,11 +655,14 @@ def build_parser() -> argparse.ArgumentParser:
     compare.set_defaults(func=_cmd_compare)
 
     estimate = sub.add_parser(
-        "estimate", help="wedge-sampling triangle estimate"
+        "estimate",
+        help="sampling estimates with confidence bounds "
+             "(triangles, max support, k_max)",
     )
     estimate.add_argument("graph", help="edge-list file or dataset name")
-    estimate.add_argument("--samples", type=int, default=2000)
-    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument("--seed", type=int, default=0,
+                          help="seed for generated datasets")
+    _add_engine_flags(estimate)
     estimate.set_defaults(func=_cmd_estimate)
 
     stats = sub.add_parser("stats", help="Table-I style statistics")

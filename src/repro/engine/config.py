@@ -113,6 +113,20 @@ class EngineConfig:
     serve_promote_interval:
         Poll interval in seconds of the snapshot promoter thread between
         notifications (the ingest hook wakes it early).
+    serve_cache_entries:
+        Capacity of the serve tier's per-snapshot result cache (answers
+        are immutable per snapshot, so memoisation is exact). ``0``
+        disables caching.
+    approx_epsilon:
+        Target half-width (as a fraction of the estimated quantity) of
+        the approximate tier's confidence intervals; sets the sampling
+        budget via the Hoeffding count.
+    approx_confidence:
+        Nominal CI coverage of approximate answers (e.g. ``0.95``).
+    approx_seed:
+        Base seed for every estimator RNG — estimator runs are
+        replayable by default (per-edge probes derive sub-seeds from the
+        edge, so answers are per-edge deterministic too).
 
     Example
     -------
@@ -142,6 +156,10 @@ class EngineConfig:
     serve_port: int = 0
     serve_query_timeout: Optional[float] = 30.0
     serve_promote_interval: float = 0.5
+    serve_cache_entries: int = 1024
+    approx_epsilon: float = 0.1
+    approx_confidence: float = 0.95
+    approx_seed: int = 0
 
     def validate(self) -> "EngineConfig":
         """Check field ranges (backend names are checked by the registry).
@@ -216,6 +234,20 @@ class EngineConfig:
                 f"serve_promote_interval must be positive, "
                 f"got {self.serve_promote_interval}"
             )
+        if self.serve_cache_entries < 0:
+            raise DeviceError(
+                f"serve_cache_entries must be non-negative, "
+                f"got {self.serve_cache_entries}"
+            )
+        if not 0.0 < self.approx_epsilon < 1.0:
+            raise DeviceError(
+                f"approx_epsilon must be in (0, 1), got {self.approx_epsilon}"
+            )
+        if not 0.5 <= self.approx_confidence < 1.0:
+            raise DeviceError(
+                f"approx_confidence must be in [0.5, 1), "
+                f"got {self.approx_confidence}"
+            )
         return self
 
     def describe(self) -> Dict[str, Any]:
@@ -240,6 +272,10 @@ class EngineConfig:
             "serve_port": self.serve_port,
             "serve_query_timeout": self.serve_query_timeout,
             "serve_promote_interval": self.serve_promote_interval,
+            "serve_cache_entries": self.serve_cache_entries,
+            "approx_epsilon": self.approx_epsilon,
+            "approx_confidence": self.approx_confidence,
+            "approx_seed": self.approx_seed,
         }
 
     def summary(self) -> str:

@@ -88,6 +88,18 @@ class DiskGraph:
         start, stop = int(self.offsets[v]), int(self.offsets[v + 1])
         return self.adj.read_slice(start, stop)
 
+    def adj_base(self, v: int) -> int:
+        """Start offset of ``N(v)`` in the adjacency file (free lookup)."""
+        return int(self.offsets[v])
+
+    def read_adj_cell(self, offset: int) -> int:
+        """One adjacency cell by flat offset (a single charged touch).
+
+        The approximate tier's membership probes binary-search an
+        adjacency list cell by cell — ``O(log deg)`` single touches
+        instead of the full ``O(deg / B)`` slice."""
+        return int(self.adj.read_slice(offset, offset + 1)[0])
+
     def load_neighbors_with_eids(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
         """Load ``N(v)`` together with the aligned edge ids (charged)."""
         start, stop = int(self.offsets[v]), int(self.offsets[v + 1])

@@ -9,6 +9,13 @@ sample two-paths uniformly, measure how often they close into a triangle.
 
 Estimators are semi-external: they read ``O(samples)`` adjacency lists
 through the charged access path and keep only ``O(n)`` state.
+
+Randomness is always an explicit :class:`numpy.random.Generator`: pass
+*rng* to share a stream across estimators, or *seed* to derive one; with
+neither, the seed comes from the context's
+:attr:`~repro.engine.EngineConfig.approx_seed` — estimator runs are
+replayable by default, never wall-clock seeded. (The confidence-bounded
+successors of these planning estimators live in :mod:`repro.approx`.)
 """
 
 from __future__ import annotations
@@ -23,6 +30,20 @@ from ..engine.context import ContextLike, resolve_context
 from ..graph.disk_graph import DiskGraph
 from ..graph.memgraph import Graph
 from ..storage import BlockDevice
+
+
+def _resolve_rng(
+    rng: Optional[np.random.Generator],
+    seed: Optional[int],
+    ctx,
+) -> np.random.Generator:
+    """One explicit Generator: *rng* wins, then *seed*, then the config's
+    ``approx_seed`` (so an unseeded call is still deterministic)."""
+    if rng is not None:
+        return rng
+    if seed is not None:
+        return np.random.default_rng(seed)
+    return np.random.default_rng(ctx.config.approx_seed)
 
 
 @dataclass
@@ -64,11 +85,13 @@ def estimate_triangles(
     seed: Optional[int] = None,
     device: Optional[BlockDevice] = None,
     context: Optional[ContextLike] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> TriangleEstimate:
     """Estimate ``Δ_G`` by uniform wedge sampling (charged I/O).
 
     ``Δ_G = closure_rate * wedges / 3`` since every triangle contains
     exactly three wedges. Exact for graphs with no wedges (returns 0).
+    *rng* (or *seed*, or the config's ``approx_seed``) fixes the sample.
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
@@ -81,7 +104,7 @@ def estimate_triangles(
     if total_wedges == 0:
         disk_graph.release()
         return TriangleEstimate(0.0, 0.0, 0, samples)
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(rng, seed, ctx)
     probabilities = wedge_counts / total_wedges
     centers = rng.choice(graph.n, size=samples, p=probabilities)
     closed = 0
@@ -107,6 +130,7 @@ def estimate_max_support(
     seed: Optional[int] = None,
     device: Optional[BlockDevice] = None,
     context: Optional[ContextLike] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> int:
     """A sampled *lower* bound on ``max_e sup(e)`` (charged I/O).
 
@@ -114,6 +138,7 @@ def estimate_max_support(
     support lives) and measures their exact support. The true maximum is
     at least the returned value; it seeds progress displays and sanity
     checks, not correctness decisions (Lemma 2 needs the exact maximum).
+    *rng* (or *seed*, or the config's ``approx_seed``) fixes the sample.
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
@@ -122,7 +147,7 @@ def estimate_max_support(
     ctx = resolve_context(context, device)
     device = ctx.device_for(graph.n)
     disk_graph = DiskGraph(graph, device, ctx.memory, name="est.G")
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(rng, seed, ctx)
     degrees = graph.degrees.astype(np.float64)
     edge_weights = degrees[graph.edges[:, 0]] + degrees[graph.edges[:, 1]]
     probabilities = edge_weights / edge_weights.sum()

@@ -17,9 +17,19 @@ queries against it while ingestion keeps writing:
   blocking client used by tests and CI;
 * :mod:`~repro.serve.partition` / :mod:`~repro.serve.router` — the
   vertex-range shard manifest behind ``repro partition`` and the
-  scatter/gather router that fans queries over shards.
+  scatter/gather router that fans queries over shards (tolerating
+  partial shard failure on scatter/gather ops);
+* :mod:`~repro.serve.cache` — the per-snapshot :class:`ResultCache`
+  (answers are immutable per snapshot, so memoisation is exact; evicted
+  on snapshot retire).
+
+``membership`` / ``trussness`` / ``stats`` accept ``precision="approx"``
+(single-image engines only): answers come from per-snapshot
+:class:`~repro.approx.ApproxEngine` state and carry
+``{estimate, ci, confidence, samples}`` with a sublinear I/O bill.
 """
 
+from .cache import ResultCache
 from .engine import QueryAnswer, QueryEngine
 from .partition import (
     PartitionManifest,
@@ -38,6 +48,7 @@ __all__ = [
     "PartitionManifest",
     "QueryAnswer",
     "QueryEngine",
+    "ResultCache",
     "ShardInfo",
     "ShardedRouter",
     "Snapshot",

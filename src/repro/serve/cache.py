@@ -1,0 +1,120 @@
+"""Per-snapshot result cache: memoised answers for immutable versions.
+
+A served answer is a pure function of ``(snapshot_id, op, params)`` —
+snapshots are immutable and approx answers derive their per-edge RNG from
+the configured seed — so memoisation is *exact*, not best-effort. The
+cache is a thread-safe LRU keyed by the canonicalised request; entries
+for a snapshot are dropped the moment the
+:class:`~repro.serve.snapshot.SnapshotManager` retires it (wired through
+``add_retire_listener``), so the cache never outlives the data.
+
+Cache hits replay the stored envelope — including its original charged
+I/O bill, which *is* the query's honest cost (the work was done once; a
+hit costs zero device touches, surfaced by the
+``cache.hit_ratio{extent=serve}`` gauge rather than by zeroing bills).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..observability.metrics import global_metrics
+
+__all__ = ["ResultCache", "canonical_params"]
+
+
+def canonical_params(params: Dict[str, Any]) -> Tuple:
+    """A hashable, order-insensitive form of a request's parameters.
+
+    >>> canonical_params({"v": 2, "u": 1}) == canonical_params({"u": 1, "v": 2})
+    True
+    >>> canonical_params({"ks": [2, 3]})
+    (('ks', (2, 3)),)
+    """
+    return tuple(
+        (key, tuple(value) if isinstance(value, list) else value)
+        for key, value in sorted(params.items())
+    )
+
+
+class ResultCache:
+    """Thread-safe LRU of response envelopes, scoped by snapshot id.
+
+    >>> cache = ResultCache(capacity=2)
+    >>> key = cache.key(1, "stats", {})
+    >>> cache.get(key) is None
+    True
+    >>> cache.put(key, {"ok": True, "result": {"n": 5}})
+    >>> cache.get(key)["result"]
+    {'n': 5}
+    >>> cache.evict_snapshot(1)
+    >>> cache.get(key) is None
+    True
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(
+        snapshot_id: int, op: str, params: Dict[str, Any]
+    ) -> Tuple:
+        """The cache key for one request against one snapshot."""
+        return (int(snapshot_id), op, canonical_params(params))
+
+    def get(self, key: Tuple) -> Optional[Dict[str, Any]]:
+        """The memoised envelope (a shallow copy), or None on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                self._publish_locked()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._publish_locked()
+            return dict(entry)
+
+    def put(self, key: Tuple, envelope: Dict[str, Any]) -> None:
+        """Memoise one answer envelope (evicts LRU past capacity)."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = dict(envelope)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def evict_snapshot(self, snapshot_id: int) -> None:
+        """Drop every entry of a retired snapshot."""
+        with self._lock:
+            stale = [
+                key for key in self._entries if key[0] == int(snapshot_id)
+            ]
+            for key in stale:
+                del self._entries[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _publish_locked(self) -> None:
+        total = self.hits + self.misses
+        if total:
+            global_metrics().gauge("cache.hit_ratio", extent="serve").set(
+                self.hits / total
+            )

@@ -84,11 +84,25 @@ class TrussClient:
     # operations
     # ------------------------------------------------------------------ #
 
-    def membership(self, u: int, v: int, k: int, **extra) -> QueryAnswer:
-        return self.request({"op": "membership", "u": u, "v": v, "k": k, **extra})
+    def membership(
+        self, u: int, v: int, k: int, precision: str = "exact", **extra
+    ) -> QueryAnswer:
+        """Is edge (u, v) in the k-truss? ``precision="approx"`` answers
+        from sampled estimator state with a confidence interval."""
+        return self.request({
+            "op": "membership", "u": u, "v": v, "k": k,
+            "precision": precision, **extra,
+        })
 
-    def trussness(self, u: int, v: int, **extra) -> QueryAnswer:
-        return self.request({"op": "trussness", "u": u, "v": v, **extra})
+    def trussness(
+        self, u: int, v: int, precision: str = "exact", **extra
+    ) -> QueryAnswer:
+        """Trussness of edge (u, v); approx answers carry
+        ``{estimate, ci, confidence, samples}`` instead of a point."""
+        return self.request({
+            "op": "trussness", "u": u, "v": v,
+            "precision": precision, **extra,
+        })
 
     def community(
         self,
@@ -112,8 +126,8 @@ class TrussClient:
             request["k"] = k
         return self.request(request)
 
-    def stats(self, **extra) -> QueryAnswer:
-        return self.request({"op": "stats", **extra})
+    def stats(self, precision: str = "exact", **extra) -> QueryAnswer:
+        return self.request({"op": "stats", "precision": precision, **extra})
 
     def shutdown(self) -> Dict[str, Any]:
         """Ask the server to drain and exit; returns the raw ack."""

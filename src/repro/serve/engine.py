@@ -19,6 +19,7 @@ the trussness extent (plus the edge table when endpoints are needed).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -30,11 +31,15 @@ from ..analysis.components import (
     vertex_connected_components,
 )
 from ..applications.community import truss_community
+from ..approx.engine import ApproxEngine
+from ..approx.estimate import Estimate
+from ..approx.estimators import AdjacencyProbe
 from ..engine.config import EngineConfig
 from ..engine.context import ExecutionContext
 from ..errors import ServeError
 from ..observability.metrics import global_metrics
 from ..observability.tracer import trace_span
+from .cache import ResultCache
 from .protocol import ok_envelope, request_id_of, validate_request
 from .snapshot import Snapshot, SnapshotManager
 
@@ -95,6 +100,15 @@ class _SnapshotReader:
         self._adj_eids = device.allocate("serve.adj_eids", 8 * len(graph.adj))
         self._tau = device.allocate("serve.tau", 8 * graph.m)
         self._edges = device.allocate("serve.edges", 16 * graph.m)
+        self._approx_probe: Optional[AdjacencyProbe] = None
+
+    def approx_probe(self) -> AdjacencyProbe:
+        """This request's charged estimator probe (billing to its device)."""
+        if self._approx_probe is None:
+            self._approx_probe = AdjacencyProbe(
+                self.graph, self._device, name="serve.approx"
+            )
+        return self._approx_probe
 
     def check_vertex(self, v: int, name: str) -> int:
         if not 0 <= v < self.graph.n:
@@ -157,6 +171,23 @@ class QueryEngine:
     ) -> None:
         self.manager = manager
         self.config = (config if config is not None else EngineConfig()).validate()
+        self.cache: Optional[ResultCache] = (
+            ResultCache(self.config.serve_cache_entries)
+            if self.config.serve_cache_entries > 0
+            else None
+        )
+        self._approx_lock = threading.Lock()
+        self._approx: Dict[int, ApproxEngine] = {}
+        manager.add_retire_listener(self._on_snapshot_retired)
+
+    def _on_snapshot_retired(self, snapshot_id: int) -> None:
+        """Drop per-snapshot derived state the moment a version retires."""
+        if self.cache is not None:
+            self.cache.evict_snapshot(snapshot_id)
+        with self._approx_lock:
+            engine = self._approx.pop(snapshot_id, None)
+        if engine is not None:
+            engine.close()
 
     # ------------------------------------------------------------------ #
     # protocol entry point
@@ -174,7 +205,19 @@ class QueryEngine:
         if op == "shutdown":
             raise ServeError("shutdown is a server operation, not a query")
         start = time.perf_counter()
+        cache_key = None
         with self.manager.pinned() as snapshot:
+            if self.cache is not None:
+                cache_key = ResultCache.key(snapshot.snapshot_id, op, params)
+                hit = self.cache.get(cache_key)
+                if hit is not None:
+                    # Replay the memoised answer: the io field stays the
+                    # original bill (the honest cost of computing it); the
+                    # hit itself touches no device.
+                    hit["id"] = request_id
+                    hit["cached"] = True
+                    global_metrics().counter("serve.requests", op=op).inc()
+                    return hit
             context = ExecutionContext(self.config, readonly=True)
             try:
                 reader = _SnapshotReader(snapshot, context)
@@ -183,25 +226,33 @@ class QueryEngine:
                 bill = context.stats.snapshot()
             finally:
                 context.close()
-        elapsed = time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            envelope = ok_envelope(
+                request_id,
+                op,
+                result,
+                {"id": snapshot.snapshot_id, "wal_seq": snapshot.wal_seq},
+                {
+                    "read_ios": bill.read_ios,
+                    "write_ios": bill.write_ios,
+                    "bytes_read": bill.bytes_read,
+                },
+                elapsed * 1000.0,
+            )
+            if cache_key is not None:
+                # Inside the pin: the retire listener cannot run for this
+                # snapshot until we unpin, so the entry can never outlive
+                # its eviction.
+                stored = dict(envelope)
+                stored.pop("id", None)
+                self.cache.put(cache_key, stored)
         metrics = global_metrics()
         metrics.counter("serve.requests", op=op).inc()
         metrics.counter("serve.charged_read_ios", op=op).inc(bill.read_ios)
         metrics.histogram(
             "serve.query_seconds", buckets=LATENCY_BUCKETS
         ).observe(elapsed)
-        return ok_envelope(
-            request_id,
-            op,
-            result,
-            {"id": snapshot.snapshot_id, "wal_seq": snapshot.wal_seq},
-            {
-                "read_ios": bill.read_ios,
-                "write_ios": bill.write_ios,
-                "bytes_read": bill.bytes_read,
-            },
-            elapsed * 1000.0,
-        )
+        return envelope
 
     def _dispatch(
         self,
@@ -210,9 +261,16 @@ class QueryEngine:
         reader: _SnapshotReader,
         context: ExecutionContext,
     ) -> Dict[str, Any]:
+        approx = params.get("precision") == "approx"
         if op == "membership":
+            if approx:
+                return self._membership_approx(
+                    reader, params["u"], params["v"], params["k"]
+                )
             return self._membership(reader, params["u"], params["v"], params["k"])
         if op == "trussness":
+            if approx:
+                return self._trussness_approx(reader, params["u"], params["v"])
             return self._trussness(reader, params["u"], params["v"])
         if op == "community":
             return self._community(
@@ -224,6 +282,8 @@ class QueryEngine:
         if op == "export":
             return self._export(reader, params["k"])
         if op == "stats":
+            if approx:
+                return self._stats_approx(reader)
             return self._stats(reader)
         raise ServeError(f"unhandled op {op!r}")  # pragma: no cover
 
@@ -247,6 +307,81 @@ class QueryEngine:
         answer["k"] = k
         answer["member"] = tau is not None and tau >= k
         return answer
+
+    # ------------------------------------------------------------------ #
+    # approximate tier (precision="approx": sampled state + small probes)
+    # ------------------------------------------------------------------ #
+
+    def _approx_for(self, reader: "_SnapshotReader") -> ApproxEngine:
+        """The snapshot's cached :class:`ApproxEngine`, built on demand.
+
+        The sampled state is built once per snapshot — the first approx
+        request pays the sampling bill on its own envelope; every later
+        request reuses the state and pays only its per-edge probe. The
+        engine is dropped (with the result cache) when the snapshot
+        retires.
+        """
+        snapshot = reader.snapshot
+        with self._approx_lock:
+            engine = self._approx.get(snapshot.snapshot_id)
+            if engine is None:
+                engine = ApproxEngine(snapshot.graph, config=self.config)
+                self._approx[snapshot.snapshot_id] = engine
+            engine.build(reader.approx_probe())
+        return engine
+
+    def _trussness_approx(self, reader, u: int, v: int) -> Dict[str, Any]:
+        reader.check_vertex(u, "u")
+        reader.check_vertex(v, "v")
+        if u == v:
+            raise ServeError("u and v must differ")
+        engine = self._approx_for(reader)
+        estimate = engine.trussness(u, v, probe=reader.approx_probe())
+        if estimate is None:
+            return {"present": False, "trussness": None, "precision": "approx"}
+        return {"present": True, "precision": "approx", **estimate.to_dict()}
+
+    def _membership_approx(
+        self, reader, u: int, v: int, k: int
+    ) -> Dict[str, Any]:
+        reader.check_vertex(u, "u")
+        reader.check_vertex(v, "v")
+        if u == v:
+            raise ServeError("u and v must differ")
+        engine = self._approx_for(reader)
+        probe = reader.approx_probe()
+        support = engine.edge_support(u, v, probe=probe)
+        if support is None:
+            absent = Estimate.exact(0.0)
+            return {
+                "present": False, "k": k, "member": False,
+                "likelihood": 0.0, "precision": "approx",
+                **absent.to_dict(),
+            }
+        likelihood = engine.membership_likelihood(
+            u, v, k, support_estimate=support
+        )
+        return {
+            "present": True, "k": k,
+            "member": bool(likelihood.value >= 0.5),
+            "likelihood": likelihood.value, "precision": "approx",
+            **likelihood.to_dict(),
+        }
+
+    def _stats_approx(self, reader) -> Dict[str, Any]:
+        snapshot = reader.snapshot
+        engine = self._approx_for(reader)
+        return {
+            "n": snapshot.graph.n,
+            "m": snapshot.graph.m,
+            "snapshot_id": snapshot.snapshot_id,
+            "wal_seq": snapshot.wal_seq,
+            "precision": "approx",
+            "k_max": engine.kmax().to_dict(),
+            "triangles": engine.triangles().to_dict(),
+            "max_support": engine.max_support().to_dict(),
+            "build_io": engine.build_charged_io,
+        }
 
     # ------------------------------------------------------------------ #
     # linear-work queries

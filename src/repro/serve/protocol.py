@@ -24,6 +24,13 @@ Operations
 ----------
 ``membership``  u, v, k        — is edge (u, v) in the k-truss?
 ``trussness``   u, v           — trussness of edge (u, v) (null if absent)
+
+``membership``, ``trussness`` and ``stats`` also accept
+``precision: "approx" | "exact"`` (default ``exact``). Approx answers
+come from per-snapshot sampled estimator state and carry
+``{estimate, ci, confidence, samples}`` instead of a point value — the
+sublinear tier for graphs whose full decomposition is too expensive to
+consult per query.
 ``community``   q[, k, connectivity, include_edges]
                                — truss community containing vertex q
 ``hierarchy``   [k]            — trussness level profile, or one level's
@@ -44,19 +51,24 @@ from ..errors import ServeError
 
 #: op -> (required params, optional params with defaults)
 OPERATIONS: Dict[str, Tuple[Tuple[str, ...], Dict[str, Any]]] = {
-    "membership": (("u", "v", "k"), {}),
-    "trussness": (("u", "v"), {}),
+    "membership": (("u", "v", "k"), {"precision": "exact"}),
+    "trussness": (("u", "v"), {"precision": "exact"}),
     "community": (
         ("q",),
         {"k": None, "connectivity": "vertex", "include_edges": False},
     ),
     "hierarchy": ((), {"k": None}),
     "export": ((), {"k": None}),
-    "stats": ((), {}),
+    "stats": ((), {"precision": "exact"}),
     "shutdown": ((), {}),
 }
 
 _INT_PARAMS = ("u", "v", "q", "k")
+
+#: Answer tiers of the ``precision`` parameter: ``exact`` replays the
+#: snapshot's decomposition; ``approx`` answers from sampled estimator
+#: state with a confidence interval (sublinear charged I/O).
+PRECISIONS = ("exact", "approx")
 
 #: Maximum request line the server will parse (1 MiB is generous for a
 #: protocol whose largest request is a handful of integers).
@@ -104,6 +116,11 @@ def validate_request(request: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
                     f"{op}: parameter {name!r} must be an integer, "
                     f"got {value!r}"
                 )
+    if "precision" in params and params["precision"] not in PRECISIONS:
+        raise ServeError(
+            f"{op}: unknown precision {params['precision']!r}; "
+            f"known: {', '.join(PRECISIONS)}"
+        )
     if op == "membership" and params["k"] < 2:
         raise ServeError(f"membership: k must be >= 2, got {params['k']}")
     if op == "community":

@@ -22,6 +22,19 @@ either — but executes against the per-shard images of a
 Sharded envelopes replace the single ``snapshot`` stamp with
 ``{"sharded": true, "parts": [...]}`` listing every consulted shard's
 snapshot, and ``io`` is the **sum** of the consulted shards' bills.
+
+**Partial failure.** A scatter/gather op tolerates individual shard
+failures: the merge runs over the surviving shards and the envelope is
+stamped ``"partial": true`` with ``"failed_shards": [ids...]`` so the
+client knows the answer may be an under-approximation (a gather union
+missing one shard's rows). Point ops still hard-fail — a single-shard
+answer is either exact or an error, never partial. All shards failing
+is an error.
+
+``precision: "approx"`` is rejected here: the estimators sample
+shard-local adjacency, which cannot see triangles whose edges cross
+shard boundaries, so shard-local estimates do not compose into a sound
+global interval. Approximate answers are a single-image feature.
 """
 
 from __future__ import annotations
@@ -99,26 +112,34 @@ class ShardedRouter:
         op, params = validate_request(request)
         if op == "shutdown":
             raise ServeError("shutdown is a server operation, not a query")
+        if params.get("precision") == "approx":
+            raise ServeError(
+                "precision=approx is not available on a sharded deployment: "
+                "shard-local samples cannot see cross-shard triangles"
+            )
         start = time.perf_counter()
+        failed: List[int] = []
         with trace_span("serve.route", kind="query", op=op):
             if op in ("membership", "trussness"):
                 result, consulted = self._route_point(op, params)
             elif op == "stats":
-                result, consulted = self._merge_stats()
+                result, consulted, failed = self._merge_stats()
             elif op == "hierarchy":
-                result, consulted = self._merge_hierarchy(params["k"])
+                result, consulted, failed = self._merge_hierarchy(params["k"])
             elif op == "export":
-                result, consulted = self._merge_export(params["k"])
+                result, consulted, failed = self._merge_export(params["k"])
             elif op == "community":
-                result, consulted = self._merge_community(params)
+                result, consulted, failed = self._merge_community(params)
             else:  # pragma: no cover
                 raise ServeError(f"unhandled op {op!r}")
         elapsed = time.perf_counter() - start
         metrics = global_metrics()
         metrics.counter("serve.route_requests", op=op).inc()
         metrics.counter("serve.shards_consulted", op=op).inc(len(consulted))
+        if failed:
+            metrics.counter("serve.shards_failed", op=op).inc(len(failed))
         parts, io = self._merge_bills(consulted)
-        return ok_envelope(
+        envelope = ok_envelope(
             request_id,
             op,
             result,
@@ -126,6 +147,10 @@ class ShardedRouter:
             io,
             elapsed * 1000.0,
         )
+        if failed:
+            envelope["partial"] = True
+            envelope["failed_shards"] = failed
+        return envelope
 
     # ------------------------------------------------------------------ #
     # routing primitives
@@ -144,16 +169,37 @@ class ShardedRouter:
 
     def _scatter(
         self, request: Dict[str, Any], shard_ids: Optional[Sequence[int]] = None
-    ) -> List[Tuple[int, Dict]]:
-        """Run *request* on the given shards concurrently (deterministic
-        shard order in the returned list)."""
+    ) -> Tuple[List[Tuple[int, Dict]], List[int]]:
+        """Run *request* on the given shards concurrently.
+
+        Returns ``(consulted, failed)`` in deterministic shard order:
+        *consulted* holds the surviving ``(shard_id, envelope)`` pairs,
+        *failed* the ids whose engines raised. Every shard failing is an
+        error (there is nothing to merge), raised with the first failure
+        chained for diagnosis.
+        """
         if shard_ids is None:
             shard_ids = range(len(self.engines))
+        shard_ids = list(shard_ids)
         futures = [
             self._pool.submit(self._ask, shard_id, request)
             for shard_id in shard_ids
         ]
-        return [future.result() for future in futures]
+        consulted: List[Tuple[int, Dict]] = []
+        failed: List[int] = []
+        first_error: Optional[BaseException] = None
+        for shard_id, future in zip(shard_ids, futures):
+            try:
+                consulted.append(future.result())
+            except Exception as exc:
+                failed.append(shard_id)
+                if first_error is None:
+                    first_error = exc
+        if failed and not consulted:
+            raise ServeError(
+                f"all shards failed (shards {failed}): {first_error!r}"
+            ) from first_error
+        return consulted, failed
 
     @staticmethod
     def _merge_bills(
@@ -191,21 +237,23 @@ class ShardedRouter:
         consulted = [self._ask(owner, request)]
         return consulted[0][1]["result"], consulted
 
-    def _merge_stats(self) -> Tuple[Dict[str, Any], List[Tuple[int, Dict]]]:
-        consulted = self._scatter({"op": "stats"})
+    def _merge_stats(
+        self,
+    ) -> Tuple[Dict[str, Any], List[Tuple[int, Dict]], List[int]]:
+        consulted, failed = self._scatter({"op": "stats"})
         result = {
             "n": self.manifest.n,
             "m": sum(sub["result"]["m"] for _, sub in consulted),
             "k_max": max(sub["result"]["k_max"] for _, sub in consulted),
             "shards": len(consulted),
         }
-        return result, consulted
+        return result, consulted, failed
 
     def _merge_hierarchy(
         self, k: Optional[int]
-    ) -> Tuple[Dict[str, Any], List[Tuple[int, Dict]]]:
+    ) -> Tuple[Dict[str, Any], List[Tuple[int, Dict]], List[int]]:
         if k is None:
-            consulted = self._scatter({"op": "hierarchy"})
+            consulted, failed = self._scatter({"op": "hierarchy"})
             levels: Dict[str, int] = {}
             for _, sub in consulted:
                 for level, count in sub["result"]["levels"].items():
@@ -213,51 +261,53 @@ class ShardedRouter:
             k_max = max(sub["result"]["k_max"] for _, sub in consulted)
             return {"k_max": k_max, "levels": dict(sorted(
                 levels.items(), key=lambda item: int(item[0])
-            ))}, consulted
+            ))}, consulted, failed
         # One fixed level: components need the global edge set — gather.
-        pairs, _, consulted = self._gather_rows(k)
+        pairs, _, consulted, failed = self._gather_rows(k)
         components = vertex_connected_components(pairs)
         return {
             "k": int(k),
             "edges": len(pairs),
             "communities": len(components),
-        }, consulted
+        }, consulted, failed
 
     def _gather_rows(
         self, k: Optional[int]
-    ) -> Tuple[List[Tuple[int, int]], np.ndarray, List[Tuple[int, Dict]]]:
+    ) -> Tuple[
+        List[Tuple[int, int]], np.ndarray, List[Tuple[int, Dict]], List[int]
+    ]:
         """Gather (edges, trussness) from every shard, merged into global
         lexicographic edge order (= the unsharded engine's edge-id order)."""
         request: Dict[str, Any] = {"op": "export"}
         if k is not None:
             request["k"] = k
-        consulted = self._scatter(request)
+        consulted, failed = self._scatter(request)
         rows: List[List[int]] = []
         taus: List[int] = []
         for _, sub in consulted:
             rows.extend(sub["result"]["edges"])
             taus.extend(sub["result"]["trussness"])
         if not rows:
-            return [], np.zeros(0, dtype=np.int64), consulted
+            return [], np.zeros(0, dtype=np.int64), consulted, failed
         array = np.asarray(rows, dtype=np.int64)
         tau = np.asarray(taus, dtype=np.int64)
         order = np.lexsort((array[:, 1], array[:, 0]))
         array, tau = array[order], tau[order]
         pairs = [(int(a), int(b)) for a, b in array]
-        return pairs, tau, consulted
+        return pairs, tau, consulted, failed
 
     def _merge_export(
         self, k: Optional[int]
-    ) -> Tuple[Dict[str, Any], List[Tuple[int, Dict]]]:
-        pairs, tau, consulted = self._gather_rows(k)
+    ) -> Tuple[Dict[str, Any], List[Tuple[int, Dict]], List[int]]:
+        pairs, tau, consulted, failed = self._gather_rows(k)
         return {
             "edges": [[a, b] for a, b in pairs],
             "trussness": [int(t) for t in tau],
-        }, consulted
+        }, consulted, failed
 
     def _merge_community(
         self, params: Dict[str, Any]
-    ) -> Tuple[Dict[str, Any], List[Tuple[int, Dict]]]:
+    ) -> Tuple[Dict[str, Any], List[Tuple[int, Dict]], List[int]]:
         q = self._check_vertex(params["q"], "q")
         k = params["k"]
         connectivity = params["connectivity"]
@@ -266,18 +316,18 @@ class ShardedRouter:
             # Maximum-trussness community: rebuild the full graph from the
             # shard exports (ownership partitions the edge set, so the
             # union is exact) and run the same sweep the engine runs.
-            pairs, tau, consulted = self._gather_rows(None)
+            pairs, tau, consulted, failed = self._gather_rows(None)
             graph = Graph(self.manifest.n, np.asarray(pairs, dtype=np.int64)
                           if pairs else np.zeros((0, 2), dtype=np.int64))
             found = truss_community(
                 graph, [q], connectivity=connectivity, trussness=tau
             )
             if found is None:
-                return {"found": False}, consulted
+                return {"found": False}, consulted, failed
             return QueryEngine._community_result(
                 found.k, found.edges, found.vertices, include_edges
-            ), consulted
-        pairs, _, consulted = self._gather_rows(k)
+            ), consulted, failed
+        pairs, _, consulted, failed = self._gather_rows(k)
         split = (
             vertex_connected_components
             if connectivity == "vertex"
@@ -288,5 +338,5 @@ class ShardedRouter:
             if q in vertices:
                 return QueryEngine._community_result(
                     k, component, vertices, include_edges
-                ), consulted
-        return {"found": False}, consulted
+                ), consulted, failed
+        return {"found": False}, consulted, failed

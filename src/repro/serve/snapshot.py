@@ -120,6 +120,23 @@ class SnapshotManager:
         self._next_id = 1
         self.published = 0
         self.retired = 0
+        self._retire_listeners: List[Callable[[int], None]] = []
+
+    def add_retire_listener(self, listener: Callable[[int], None]) -> None:
+        """Register ``listener(snapshot_id)`` called after each retire.
+
+        Listeners run *outside* the manager lock (a listener may pin,
+        publish or inspect the manager without deadlocking) but on the
+        retiring thread, so per-snapshot caches are dropped before the
+        retire call returns.
+        """
+        with self._lock:
+            self._retire_listeners.append(listener)
+
+    def _notify_retired(self, snapshot_ids: List[int]) -> None:
+        for snapshot_id in snapshot_ids:
+            for listener in list(self._retire_listeners):
+                listener(snapshot_id)
 
     @classmethod
     def initial(
@@ -152,6 +169,7 @@ class SnapshotManager:
         with self._lock:
             snapshot_id = self._next_id
         snapshot = _snapshot_from_graph(snapshot_id, graph, wal_seq, trussness)
+        retired: List[int] = []
         with self._lock:
             if (
                 self._current is not None
@@ -169,6 +187,8 @@ class SnapshotManager:
             self.published += 1
             if previous is not None and self._pins[previous.snapshot_id] == 0:
                 self._retire_locked(previous.snapshot_id)
+                retired.append(previous.snapshot_id)
+        self._notify_retired(retired)
         metrics = global_metrics()
         metrics.counter("serve.promotions").inc()
         metrics.gauge("serve.snapshot_id").set(snapshot_id)
@@ -196,6 +216,7 @@ class SnapshotManager:
 
     def unpin(self, snapshot: Snapshot) -> None:
         """Release a reference; retires superseded drained snapshots."""
+        retired: List[int] = []
         with self._lock:
             snapshot_id = snapshot.snapshot_id
             count = self._pins.get(snapshot_id)
@@ -208,6 +229,8 @@ class SnapshotManager:
                 and self._current.snapshot_id != snapshot_id
             ):
                 self._retire_locked(snapshot_id)
+                retired.append(snapshot_id)
+        self._notify_retired(retired)
 
     @contextlib.contextmanager
     def pinned(self) -> Iterator[Snapshot]:

@@ -1,0 +1,264 @@
+"""Approximate tier: interval helpers, estimators, the ApproxEngine, and
+the estimator-narrowed exact search (``estimate_bounds=True``).
+
+The bit-identical + strictly-fewer-scans assertions run over seeded
+equivalence families where the reduction was verified to hold; exactness
+itself (the widen-and-retry safety net) is asserted on every graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    AdjacencyProbe,
+    ApproxEngine,
+    Estimate,
+    build_approx_engine,
+    estimate_edge_support,
+    estimate_kmax,
+    estimate_triangle_count,
+    hoeffding_samples,
+    kmax_from_sample,
+    max_support_from_sample,
+    normal_quantile,
+    sample_budget,
+    sample_edge_supports,
+    wilson_interval,
+)
+from repro.core.semi_binary import semi_binary
+from repro.engine import EngineConfig, ExecutionContext
+from repro.errors import ReproError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnm_random,
+    paper_example_graph,
+    planted_kmax_truss,
+)
+from repro.graph.memgraph import Graph
+
+
+def make_probe(graph, context):
+    return AdjacencyProbe(graph, context.device_for(graph.n))
+
+
+@pytest.fixture
+def context():
+    # The default (simulated) backend charges reads; inmemory does not.
+    with ExecutionContext(EngineConfig()) as ctx:
+        yield ctx
+
+
+class TestIntervalHelpers:
+    def test_normal_quantile_known_values(self):
+        assert normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert normal_quantile(0.995) == pytest.approx(2.575829, abs=1e-5)
+
+    def test_normal_quantile_symmetry(self):
+        for p in (0.01, 0.1, 0.25, 0.4):
+            assert normal_quantile(p) == pytest.approx(-normal_quantile(1 - p))
+
+    def test_normal_quantile_rejects_boundary(self):
+        for p in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                normal_quantile(p)
+
+    def test_wilson_contains_point(self):
+        for successes, trials in [(0, 50), (1, 50), (25, 50), (50, 50)]:
+            low, high = wilson_interval(successes, trials, 0.95)
+            assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+    def test_wilson_narrows_with_trials(self):
+        w_small = wilson_interval(10, 20, 0.95)
+        w_large = wilson_interval(1000, 2000, 0.95)
+        assert (w_large[1] - w_large[0]) < (w_small[1] - w_small[0])
+
+    def test_wilson_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3, 0.95)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 3, 1.0)
+
+    def test_hoeffding_monotone(self):
+        assert hoeffding_samples(0.05, 0.95) > hoeffding_samples(0.1, 0.95)
+        assert hoeffding_samples(0.1, 0.99) > hoeffding_samples(0.1, 0.95)
+
+    def test_estimate_validates_interval(self):
+        with pytest.raises(ValueError):
+            Estimate(5.0, 6.0, 7.0, 0.95, 10)
+
+    def test_estimate_envelope_payload(self):
+        est = Estimate(4.0, 3.0, 6.0, 0.9, 12, charged_io=7)
+        payload = est.to_dict()
+        assert payload == {
+            "estimate": 4.0, "ci": [3.0, 6.0], "confidence": 0.9, "samples": 12,
+        }
+        assert est.with_io(99).charged_io == 99
+
+    def test_sample_budget_census_cap(self):
+        assert sample_budget(40, 0.1, 0.95) == 40
+        assert sample_budget(0, 0.1, 0.95) == 0
+        assert sample_budget(10**9, 0.1, 0.95) == 185
+
+
+class TestEstimators:
+    def test_triangle_census_exactness(self, context):
+        # K6 closes every wedge: the estimate is exact regardless of rng.
+        probe = make_probe(complete_graph(6), context)
+        est = estimate_triangle_count(probe, 150, 0.95, np.random.default_rng(1))
+        assert est.value == 20.0
+        assert est.covers(20.0)
+        assert est.charged_io > 0
+
+    def test_triangle_free_graph_is_exact_zero(self, context):
+        probe = make_probe(cycle_graph(12), context)
+        est = estimate_triangle_count(probe, 100, 0.95, np.random.default_rng(0))
+        assert est.value == 0.0
+        assert est.ci_low == 0.0
+
+    def test_support_census_degenerates_to_exact(self, context):
+        probe = make_probe(complete_graph(5), context)
+        sample = sample_edge_supports(probe, 10**6, np.random.default_rng(0))
+        assert sample.census
+        assert sample.size == 10
+        assert set(sample.supports.tolist()) == {3}
+        est = max_support_from_sample(sample, 4)
+        assert est.is_exact and est.value == 3.0
+
+    def test_kmax_from_census_clique(self, context):
+        probe = make_probe(complete_graph(7), context)
+        rng = np.random.default_rng(0)
+        tri = estimate_triangle_count(probe, 200, 0.95, rng)
+        sample = sample_edge_supports(probe, 10**6, rng)
+        est = kmax_from_sample(sample, tri, 0.95)
+        assert est.covers(7)
+
+    def test_estimate_kmax_covers_planted(self, context):
+        graph = planted_kmax_truss(8, periphery_n=40, seed=1)
+        probe = make_probe(graph, context)
+        est = estimate_kmax(probe, rng=np.random.default_rng(3))
+        assert est.covers(8)
+        assert est.charged_io > 0
+
+    def test_edge_support_absent_edge(self, context):
+        probe = make_probe(cycle_graph(6), context)
+        rng = np.random.default_rng(0)
+        assert estimate_edge_support(probe, 0, 3, 32, 0.95, rng) is None
+        assert estimate_edge_support(probe, 2, 2, 32, 0.95, rng) is None
+
+    def test_edge_support_census_exact(self, context):
+        probe = make_probe(complete_graph(6), context)
+        est = estimate_edge_support(
+            probe, 0, 1, 128, 0.95, np.random.default_rng(0))
+        assert est.is_exact and est.value == 4.0
+
+    def test_estimator_io_is_charged_to_probe_device(self, context):
+        graph = gnm_random(60, 240, seed=0)
+        device = context.device_for(graph.n)
+        before = device.stats.read_ios
+        probe = AdjacencyProbe(graph, device)
+        estimate_kmax(probe, rng=np.random.default_rng(0))
+        assert device.stats.read_ios > before
+
+
+class TestApproxEngine:
+    def test_cached_answers_cost_no_further_io(self):
+        with ApproxEngine(complete_graph(8), config=EngineConfig()) as engine:
+            engine.build()
+            bill = engine.build_charged_io
+            assert bill > 0
+            for _ in range(3):
+                assert engine.kmax().covers(8)
+                assert engine.triangles().value == 56.0
+                assert engine.max_support().value == 6.0
+            assert engine.build_charged_io == bill  # unchanged by queries
+
+    def test_per_edge_determinism(self):
+        engine = ApproxEngine(
+            gnm_random(50, 200, seed=2), seed=11,
+            config=EngineConfig(backend="inmemory"))
+        first = engine.trussness(0, 1)
+        second = engine.trussness(1, 0)  # orientation-independent
+        assert first == second
+        engine.close()
+
+    def test_trussness_absent_edge(self):
+        engine = ApproxEngine(
+            cycle_graph(5), config=EngineConfig(backend="inmemory"))
+        assert engine.trussness(0, 2) is None
+        engine.close()
+
+    def test_membership_likelihood_extremes(self):
+        engine = ApproxEngine(
+            complete_graph(6), config=EngineConfig(backend="inmemory"))
+        absent = engine.membership_likelihood(0, 0, 4)
+        assert absent.value == 0.0 and absent.is_exact
+        trivially = engine.membership_likelihood(0, 1, 2)
+        assert trivially.value == 1.0
+        beyond = engine.membership_likelihood(0, 1, 50)
+        assert beyond.value == 0.0
+        engine.close()
+
+    def test_build_approx_engine_rejects_empty(self, context):
+        with pytest.raises(ReproError):
+            build_approx_engine(Graph.empty(0), context=context)
+
+    def test_config_knobs_flow_through(self):
+        config = EngineConfig(
+            backend="inmemory", approx_epsilon=0.2,
+            approx_confidence=0.9, approx_seed=42)
+        engine = ApproxEngine(complete_graph(5), config=config)
+        assert engine.epsilon == 0.2
+        assert engine.confidence == 0.9
+        assert engine.seed == 42
+        engine.close()
+
+
+# Families where the estimator envelope strictly reduces full support
+# scans (verified per-seed; gnm(80,400,seed=1) yields equal counts and is
+# deliberately excluded).
+NARROWING_GRAPHS = [
+    ("gnm-80-400-s0", lambda: gnm_random(80, 400, seed=0)),
+    ("gnm-80-400-s2", lambda: gnm_random(80, 400, seed=2)),
+    ("gnm-80-400-s3", lambda: gnm_random(80, 400, seed=3)),
+    ("gnm-80-400-s4", lambda: gnm_random(80, 400, seed=4)),
+]
+
+
+class TestEstimateBounds:
+    @pytest.mark.parametrize(
+        "make", [m for _, m in NARROWING_GRAPHS],
+        ids=[n for n, _ in NARROWING_GRAPHS])
+    def test_bit_identical_with_fewer_scans(self, make):
+        graph = make()
+        exact = semi_binary(graph)
+        narrowed = semi_binary(make(), estimate_bounds=True)
+        assert narrowed.k_max == exact.k_max
+        assert narrowed.truss_edges == exact.truss_edges
+        assert (narrowed.extras["support_scans"]
+                < exact.extras["support_scans"])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exactness_never_compromised(self, seed):
+        # Every seed — including ones where the envelope clips and the
+        # widen-and-retry fallback must rescue the search.
+        graph = gnm_random(60, 260, seed=seed)
+        exact = semi_binary(graph)
+        narrowed = semi_binary(
+            gnm_random(60, 260, seed=seed), estimate_bounds=True)
+        assert narrowed.k_max == exact.k_max
+        assert narrowed.truss_edges == exact.truss_edges
+
+    def test_extras_report_estimator_state(self):
+        result = semi_binary(paper_example_graph(), estimate_bounds=True)
+        lb_e, ub_e = result.extras["estimate_interval"]
+        assert lb_e <= result.extras["estimate_kmax"] <= ub_e
+        assert result.extras["estimator_samples"] > 0
+        assert result.extras["estimator_io"] >= 0
+        assert result.k_max == 4
+        assert result.truss_edge_count == 15
+
+    def test_empty_graph_estimate_bounds(self):
+        result = semi_binary(Graph.empty(3), estimate_bounds=True)
+        assert result.k_max == 0

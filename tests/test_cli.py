@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import re
 
 import pytest
 
@@ -67,10 +68,25 @@ class TestFormats:
 
 class TestEstimate:
     def test_estimate_output(self, example_file, capsys):
-        assert main(["estimate", example_file, "--samples", "200"]) == 0
+        assert main(["estimate", example_file]) == 0
         out = capsys.readouterr().out
         assert "estimated triangles" in out
-        assert "Lemma 1 seed" in out
+        assert "estimated k_max" in out
+        assert "estimator read I/Os" in out
+
+    def test_estimate_interval_covers_exact(self, example_file, capsys):
+        # Paper example: k_max = 4 — the served CI must cover it.
+        assert main(["estimate", example_file]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"estimated k_max: .* \(CI \[([\d.]+), ([\d.]+)\]", out)
+        low, high = (float(x) for x in match.groups())
+        assert low <= 4 <= high
+
+    def test_estimate_bounds_flag_requires_semi_binary(self, example_file):
+        assert main(
+            ["compute", example_file, "--method", "in-memory",
+             "--estimate-bounds"]
+        ) == 2
 
 
 class TestStats:

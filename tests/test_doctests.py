@@ -5,20 +5,28 @@ import doctest
 import pytest
 
 import repro
+import repro.approx.engine
+import repro.approx.estimate
+import repro.approx.estimators
 import repro.core.api
 import repro.core.k_truss
 import repro.dynamic.state
 import repro.engine.config
 import repro.engine.context
+import repro.serve.cache
 import repro.storage.device
 
 MODULES = [
     repro,
+    repro.approx.engine,
+    repro.approx.estimate,
+    repro.approx.estimators,
     repro.core.api,
     repro.core.k_truss,
     repro.dynamic.state,
     repro.engine.config,
     repro.engine.context,
+    repro.serve.cache,
     repro.storage.device,
 ]
 
