@@ -40,19 +40,27 @@ from .engine import EngineConfig, ExecutionContext, list_backends
 from .errors import GraphFormatError, ReproError
 from .graph.datasets import dataset_names, load_dataset
 from .graph.edgelist import read_edgelist, write_text_edgelist
-from .graph.formats import is_rgr, read_rgr
+from .graph.formats import is_rgr, read_rgr, read_rgr_mapped
 from .graph.memgraph import Graph
 
 _CACHE_POLICIES = ("lru", "fifo", "clock")
 _FSYNC_POLICIES = ("never", "close", "always")
 
 
-def _load_graph(source: str, seed: int) -> Graph:
-    """Interpret *source* as a dataset name or a file path."""
+def _load_graph(source: str, seed: int, backend: str = None) -> Graph:
+    """Interpret *source* as a dataset name or a file path.
+
+    Under ``--backend mmap`` an ``.rgr`` source is loaded zero-copy
+    (:func:`read_rgr_mapped`): the CSR arrays stay read-only views over
+    one shared file mapping, which the mmap device then adopts instead of
+    materialising copies.
+    """
     if source in dataset_names():
         return load_dataset(source, seed=seed)
     try:
         if is_rgr(source):
+            if backend == "mmap":
+                return read_rgr_mapped(source)
             return read_rgr(source)
         return read_edgelist(source)
     except (UnicodeDecodeError, ValueError) as exc:
@@ -108,6 +116,16 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="fsync policy for --backend file",
     )
     group.add_argument(
+        "--hot-extents", default=None, metavar="PATTERNS",
+        help="comma-separated extent-name substrings pinned in the mmap "
+             "backend's hot tier (default: truss,tau,heap,offsets)",
+    )
+    group.add_argument(
+        "--cold-cache-mb", type=float, default=EngineConfig().cold_cache_mb,
+        metavar="MB",
+        help="mmap backend cold-tier (LRU) page-cache budget in MiB",
+    )
+    group.add_argument(
         "--workers", type=int, default=0, metavar="N",
         help="worker processes for the sharded kernels (0/1: serial; "
              "the charged I/O bill is identical either way)",
@@ -132,6 +150,14 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
 
 def _engine_config(args: argparse.Namespace) -> EngineConfig:
     """Build the run's :class:`EngineConfig` from the parsed flags."""
+    kwargs = {}
+    if getattr(args, "hot_extents", None):
+        kwargs["hot_extents"] = tuple(
+            pattern.strip() for pattern in args.hot_extents.split(",")
+            if pattern.strip()
+        )
+    if getattr(args, "cold_cache_mb", None) is not None:
+        kwargs["cold_cache_mb"] = args.cold_cache_mb
     return EngineConfig(
         backend=args.backend,
         block_size=args.block_size,
@@ -143,11 +169,12 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         approx_epsilon=args.approx_epsilon,
         approx_confidence=args.approx_confidence,
         approx_seed=args.approx_seed,
+        **kwargs,
     ).validate()
 
 
 def _cmd_compute(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph, args.seed)
+    graph = _load_graph(args.graph, args.seed, backend=args.backend)
     config = _engine_config(args)
     kwargs = {}
     if getattr(args, "estimate_bounds", False):
@@ -200,7 +227,7 @@ def _cmd_compute(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .reporting import render_comparison
 
-    graph = _load_graph(args.graph, args.seed)
+    graph = _load_graph(args.graph, args.seed, backend=args.backend)
     config = _engine_config(args)
     # One fresh context per method: same recipe, no warm-cache bleed
     # between competitors.
@@ -220,7 +247,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_estimate(args: argparse.Namespace) -> int:
     from .approx import build_approx_engine
 
-    graph = _load_graph(args.graph, args.seed)
+    graph = _load_graph(args.graph, args.seed, backend=args.backend)
     config = _engine_config(args)
     with ExecutionContext(config) as context:
         engine = build_approx_engine(graph, context=context)
@@ -312,7 +339,7 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
 
 
 def _cmd_maintain(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph, args.seed)
+    graph = _load_graph(args.graph, args.seed, backend=args.backend)
     config = _engine_config(args)
     engine_context = ExecutionContext(config)
     with _maybe_trace(engine_context, args.trace):
@@ -387,7 +414,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     config.validate()
     graph = (
         _Graph.empty(0) if args.graph is None
-        else _load_graph(args.graph, args.seed)
+        else _load_graph(args.graph, args.seed, backend=args.backend)
     )
     engine_context = ExecutionContext(config)
     print(f"engine: {config.summary()}")
@@ -521,7 +548,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"promoting every {config.serve_promote_interval}s)"
         )
     else:
-        graph = _load_graph(args.graph, args.seed)
+        graph = _load_graph(args.graph, args.seed, backend=args.backend)
         executor = QueryEngine(SnapshotManager.initial(graph), config)
         described = f"{args.graph} (n={graph.n}, m={graph.m})"
 

@@ -52,10 +52,13 @@ __all__ = [
     "ensure_device",
 ]
 
-# The "file" backend lives in repro.persistence, which imports back into
-# the engine (graph formats -> graph package -> engine.context); register
-# it here, after the registry and context are fully initialised, so the
-# cycle is already resolved by the time the persistence package loads.
+# The "file" and "mmap" backends live in repro.persistence, which imports
+# back into the engine (graph formats -> graph package -> engine.context);
+# register them here, after the registry and context are fully initialised,
+# so the cycle is already resolved by the time the persistence package
+# loads.
 from ..persistence.file_device import register_file_backend  # noqa: E402
+from ..persistence.mmap_device import register_mmap_backend  # noqa: E402
 
 register_file_backend()
+register_mmap_backend()

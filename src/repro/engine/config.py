@@ -16,7 +16,7 @@ purpose).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..errors import DeviceError
 from ..storage import DEFAULT_BLOCK_SIZE
@@ -31,6 +31,16 @@ _FSYNC_POLICIES = ("never", "close", "always")
 #: Defined here (not in the ingest module) so config validation needs no
 #: import of the dynamic layer.
 INGEST_BACKPRESSURE_POLICIES = ("block", "drop-oldest", "reject")
+
+#: Default pinned-extent name patterns of the ``mmap`` backend's tiered
+#: cache (substring match): trussness/tau arrays, heap link fields and
+#: offset tables stay resident; adjacency/edge extents ride the LRU cold
+#: tier. Defined here (not in the persistence package) so config
+#: validation needs no import of the storage backends.
+DEFAULT_HOT_EXTENTS = ("truss", "tau", "heap", "offsets")
+
+#: Default cold-tier capacity of the ``mmap`` backend in MiB.
+DEFAULT_COLD_CACHE_MB = 64.0
 
 
 @dataclass
@@ -76,6 +86,16 @@ class EngineConfig:
         ``close`` (default: once, when the device closes) or ``always``
         (after every physical block write). Ignored by the simulated
         backends.
+    hot_extents:
+        Extent-name patterns (substring match) the ``mmap`` backend pins
+        in its hot tier — pages of matching extents are faulted once and
+        never evicted. Defaults to :data:`DEFAULT_HOT_EXTENTS`
+        (trussness/tau, heap fields, offset tables). Ignored by the
+        other backends; never affects the charged bill.
+    cold_cache_mb:
+        Capacity in MiB of the ``mmap`` backend's LRU cold tier (the
+        physical-residency model for adjacency/edge pages). Ignored by
+        the other backends; never affects the charged bill.
     workers:
         Process-pool size for the sharded kernels (``repro.parallel``).
         ``0`` or ``1`` (default) runs everything serially. Parallel runs
@@ -145,6 +165,8 @@ class EngineConfig:
     work_limit: Optional[int] = None
     data_dir: Optional[str] = None
     fsync_policy: str = "close"
+    hot_extents: Tuple[str, ...] = DEFAULT_HOT_EXTENTS
+    cold_cache_mb: float = DEFAULT_COLD_CACHE_MB
     workers: int = 0
     parallel_threshold: int = 10_000
     trace: Optional[TraceHook] = field(default=None, repr=False)
@@ -189,6 +211,17 @@ class EngineConfig:
             raise DeviceError(
                 f"unknown fsync policy {self.fsync_policy!r}; "
                 f"known: {', '.join(_FSYNC_POLICIES)}"
+            )
+        if not isinstance(self.hot_extents, (tuple, list)) or not all(
+            isinstance(pattern, str) and pattern for pattern in self.hot_extents
+        ):
+            raise DeviceError(
+                f"hot_extents must be a sequence of non-empty name patterns, "
+                f"got {self.hot_extents!r}"
+            )
+        if self.cold_cache_mb <= 0:
+            raise DeviceError(
+                f"cold_cache_mb must be positive, got {self.cold_cache_mb}"
             )
         if self.workers < 0:
             raise DeviceError(
@@ -262,6 +295,8 @@ class EngineConfig:
             "work_limit": self.work_limit,
             "data_dir": self.data_dir,
             "fsync_policy": self.fsync_policy,
+            "hot_extents": list(self.hot_extents),
+            "cold_cache_mb": self.cold_cache_mb,
             "workers": self.workers,
             "parallel_threshold": self.parallel_threshold,
             "ingest_batch_size": self.ingest_batch_size,
@@ -297,4 +332,7 @@ class EngineConfig:
             parts.append(f"fsync={self.fsync_policy}")
             if self.data_dir is not None:
                 parts.append(f"data_dir={self.data_dir}")
+        if self.backend == "mmap":
+            parts.append(f"hot={','.join(self.hot_extents)}")
+            parts.append(f"cold_cache_mb={self.cold_cache_mb:g}")
         return " ".join(parts)

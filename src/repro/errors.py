@@ -16,6 +16,18 @@ class GraphFormatError(ReproError):
     """An edge-list file or binary graph image could not be parsed."""
 
 
+class GraphFileError(GraphFormatError):
+    """A graph image file could not be opened, mapped, or validated.
+
+    Raised by the mmap-validated ``.rgr`` load path
+    (:func:`repro.persistence.read_rgr_mapped`): the checksum and
+    structural validation run *before* any mapped view is trusted, and
+    the mapping is released before this error propagates so the caller
+    can unlink the file. Subclasses :class:`GraphFormatError` so callers
+    catching the format error handle the mapped path identically.
+    """
+
+
 class DeviceError(ReproError):
     """Invalid operation on a :class:`repro.storage.BlockDevice`."""
 

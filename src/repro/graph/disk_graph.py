@@ -53,16 +53,34 @@ class DiskGraph:
         self.offsets = graph.offsets.copy()
         self.degrees = graph.degrees
         self.memory.charge(f"{name}.nodefile", self.offsets.nbytes + self.degrees.nbytes)
-        # Edge file: adjacency + aligned edge ids, on disk.
-        self.adj = DiskArray.from_numpy(self.device, graph.adj, name=f"{name}.adj")
-        self.adj_eids = DiskArray.from_numpy(
-            self.device, graph.adj_eids, name=f"{name}.adjeids"
-        )
+        # Edge file: adjacency + aligned edge ids, on disk. On a mapping-
+        # capable device (backend "mmap"), read-only payloads — e.g. the
+        # views a read_rgr_mapped() graph carries — are adopted zero-copy;
+        # the charges are identical either way (see DiskArray.from_mapped).
+        self.adj = self._edge_file_array(graph.adj, f"{name}.adj")
+        self.adj_eids = self._edge_file_array(graph.adj_eids, f"{name}.adjeids")
         # Edge table: endpoints by edge id, on disk (2 ints per edge).
-        self.edge_endpoints = DiskArray.from_numpy(
-            self.device, graph.edges.reshape(-1), name=f"{name}.edges"
+        self.edge_endpoints = self._edge_file_array(
+            graph.edges.reshape(-1), f"{name}.edges"
         )
         self._graph = graph  # retained for result extraction & subgraphing
+
+    def _edge_file_array(self, values: np.ndarray, name: str) -> DiskArray:
+        """Materialise one edge-file array, zero-copy where possible.
+
+        A read-only payload on a device advertising ``supports_mapping``
+        is adopted as-is (no copy: the device serves it from the page
+        cache); anything else goes through the copying
+        :meth:`DiskArray.from_numpy`. Charged I/O is identical on both
+        paths, so backends stay bit-compatible.
+        """
+        values = np.asarray(values)
+        if (
+            getattr(self.device, "supports_mapping", False)
+            and not values.flags.writeable
+        ):
+            return DiskArray.from_mapped(self.device, values, name=name)
+        return DiskArray.from_numpy(self.device, values, name=name)
 
     # ------------------------------------------------------------------ #
     # constructors

@@ -188,6 +188,13 @@ def read_rgr(path: PathLike) -> Graph:
     return _read_rgr(path)
 
 
+def read_rgr_mapped(path: PathLike) -> Graph:
+    """Read a ``.rgr`` image zero-copy: CSR arrays as read-only mmap views."""
+    from ..persistence.graph_file import read_rgr_mapped as _read_rgr_mapped
+
+    return _read_rgr_mapped(path)
+
+
 def is_rgr(path: PathLike) -> bool:
     """Whether *path* starts with the ``.rgr`` magic."""
     from ..persistence.graph_file import is_rgr as _is_rgr

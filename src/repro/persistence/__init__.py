@@ -7,6 +7,9 @@ of the paper's I/O model; this package adds the physical counterpart:
   is mirrored as a real ``pread``/``pwrite`` against a spill file, with
   *identical* charged :class:`~repro.storage.IOStats` and new physical
   byte/fsync counters;
+* :class:`MmapBlockDevice` — backend ``"mmap"``: zero-copy reads over
+  mapped ``.rgr`` images (:func:`read_rgr_mapped`), a modelled tiered
+  hot/cold page cache, and the same bit-identical charged ledger;
 * :mod:`~repro.persistence.graph_file` — the ``.rgr`` binary CSR graph
   image (``repro convert``);
 * :mod:`~repro.persistence.wal` + :mod:`~repro.persistence.recovery` —
@@ -36,7 +39,13 @@ from .graph_file import (
     graph_to_rgr_bytes,
     is_rgr,
     read_rgr,
+    read_rgr_mapped,
     write_rgr,
+)
+from .mmap_device import (
+    MmapBlockDevice,
+    mmap_backend_factory,
+    register_mmap_backend,
 )
 from .wal import (
     OP_DELETE,
@@ -68,7 +77,11 @@ __all__ = [
     "graph_to_rgr_bytes",
     "is_rgr",
     "read_rgr",
+    "read_rgr_mapped",
     "write_rgr",
+    "MmapBlockDevice",
+    "mmap_backend_factory",
+    "register_mmap_backend",
     "OP_DELETE",
     "OP_INSERT",
     "WalRecord",

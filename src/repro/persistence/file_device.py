@@ -200,14 +200,22 @@ class FileBlockDevice(ReferenceBlockDevice):
         return self._fd is None
 
     def close(self) -> None:
-        """Flush dirty blocks, sync per policy, delete the spill file."""
+        """Flush dirty blocks, sync per policy, delete the spill file.
+
+        The spill file and any private tmpdir are removed even when the
+        final flush or fsync raises (a full disk, a yanked mount): the
+        error still propagates, but never with OS resources leaked — and
+        a second ``close()`` after such a failure is a clean no-op.
+        """
         if self._fd is None:
             return
-        self.flush()
-        if self.fsync_policy in ("close", "always"):
-            os.fsync(self._fd)
-            self.physical.fsyncs += 1
-        self._dispose()
+        try:
+            self.flush()
+            if self.fsync_policy in ("close", "always"):
+                os.fsync(self._fd)
+                self.physical.fsyncs += 1
+        finally:
+            self._dispose()
 
     def _dispose(self) -> None:
         """Release OS resources without charging any I/O."""

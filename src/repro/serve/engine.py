@@ -100,6 +100,19 @@ class _SnapshotReader:
         self._adj_eids = device.allocate("serve.adj_eids", 8 * len(graph.adj))
         self._tau = device.allocate("serve.tau", 8 * graph.m)
         self._edges = device.allocate("serve.edges", 16 * graph.m)
+        adopt = getattr(device, "adopt_mapping", None)
+        if adopt is not None:
+            # Mapping-capable backend (mmap): a snapshot loaded through
+            # read_rgr_mapped keeps its CSR as read-only views over one
+            # file mapping, which every pinned query shares — tell the
+            # per-query device so its physical ledger reflects that.
+            for extent, view in (
+                (self._adj, graph.adj),
+                (self._adj_eids, graph.adj_eids),
+                (self._edges, graph.edges.reshape(-1)),
+            ):
+                if not view.flags.writeable:
+                    adopt(extent, view)
         self._approx_probe: Optional[AdjacencyProbe] = None
 
     def approx_probe(self) -> AdjacencyProbe:

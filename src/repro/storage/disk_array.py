@@ -58,6 +58,7 @@ class DiskArray:
         self.itemsize = self.dtype.itemsize
         self.name = name
         self._data = np.zeros(self.length, dtype=self.dtype)
+        self._mapped = False
         self.extent = device.allocate(name, self.length * self.itemsize)
         if fill is not None and self.length:
             self._data[:] = fill
@@ -78,6 +79,66 @@ class DiskArray:
             array._data[:] = values
             device.append_write(array.extent, 0, len(values) * array.itemsize)
         return array
+
+    @classmethod
+    def from_mapped(
+        cls, device: BlockDevice, view: np.ndarray, name: str = "array"
+    ) -> "DiskArray":
+        """Adopt a read-only *view* as the payload — zero copy.
+
+        Charges **exactly** what :meth:`from_numpy` charges (one
+        sequential append-write of the extent: materialising the edge
+        file is part of the paper's bill either way); the difference is
+        purely physical — the payload stays the caller's buffer, which
+        for the ``mmap`` backend is a page-cache view laid over a
+        ``.rgr`` image. *view* must be read-only (zero-copy adoption of
+        a writable buffer would let the owner mutate disk contents
+        behind the accounting layer); a later charged write through
+        :meth:`set` / :meth:`scatter` / … materialises a private copy
+        first (copy-on-write), so mapped payloads are never written
+        through. Devices exposing ``adopt_mapping`` (the mmap tier) are
+        told about the adopted region so ``physical.bytes_mapped`` is
+        accounted.
+        """
+        view = np.asarray(view)
+        if view.ndim != 1:
+            raise ArrayBoundsError(
+                f"from_mapped expects a 1-d view for {name!r}, "
+                f"got shape {view.shape}"
+            )
+        if view.flags.writeable:
+            raise ArrayBoundsError(
+                f"from_mapped requires a read-only view for {name!r} "
+                "(freeze it, or use from_numpy to copy)"
+            )
+        array = cls.__new__(cls)
+        array.device = device
+        array.length = len(view)
+        array.dtype = view.dtype
+        array.itemsize = view.dtype.itemsize
+        array.name = name
+        array._data = view
+        array._mapped = True
+        array.extent = device.allocate(name, array.length * array.itemsize)
+        if array.length:
+            device.append_write(array.extent, 0, array.length * array.itemsize)
+        adopt = getattr(device, "adopt_mapping", None)
+        if adopt is not None:
+            adopt(array.extent, view)
+        return array
+
+    @property
+    def mapped(self) -> bool:
+        """Whether the payload is still a zero-copy adopted view."""
+        return self._mapped
+
+    def _materialize(self) -> None:
+        """Copy-on-write: replace a mapped view with a private writable
+        copy before the first mutation (charges nothing — the write that
+        triggered it is charged by the caller as usual)."""
+        if self._mapped:
+            self._data = np.array(self._data)
+            self._mapped = False
 
     # ------------------------------------------------------------------ #
     # element and slice access
@@ -101,6 +162,7 @@ class DiskArray:
         index = int(index)
         self._check_range(index, index + 1)
         self.device.touch_write(self.extent, index * self.itemsize, self.itemsize)
+        self._materialize()
         self._data[index] = value
 
     def read_slice(self, start: int, stop: int) -> np.ndarray:
@@ -128,11 +190,13 @@ class DiskArray:
             self.device.touch_write(
                 self.extent, start * self.itemsize, len(values) * self.itemsize
             )
+            self._materialize()
             self._data[start:stop] = values
 
     def fill(self, value: int) -> None:
         """Overwrite the whole array (sequential write)."""
         if self.length:
+            self._materialize()
             self._data[:] = value
             self.device.append_write(self.extent, 0, self.length * self.itemsize)
 
@@ -174,6 +238,7 @@ class DiskArray:
         self.device.touch_write_batch(
             self.extent, indices * self.itemsize, self.itemsize
         )
+        self._materialize()
         self._data[indices] = values
 
     def read_slices(self, starts: np.ndarray, counts: np.ndarray):
@@ -233,6 +298,7 @@ class DiskArray:
             raise ArrayBoundsError(
                 f"adopt: {len(values)} values for {self.name!r} of length {self.length}"
             )
+        self._materialize()
         self._data[:] = values
 
     def to_numpy(self) -> np.ndarray:
@@ -248,9 +314,14 @@ class DiskArray:
         return self._data
 
     def free(self) -> None:
-        """Release the backing extent (models deleting a scratch file)."""
+        """Release the backing extent (models deleting a scratch file).
+
+        A mapped payload's view reference is dropped here, so freeing
+        the last array over a mapping lets the file be unlinked.
+        """
         self.device.free(self.extent)
         self._data = np.empty(0, dtype=self.dtype)
+        self._mapped = False
         self.length = 0
 
     def __len__(self) -> int:

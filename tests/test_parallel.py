@@ -42,7 +42,7 @@ from repro.semiexternal.support import compute_supports
 from repro.storage import BlockDevice, MemoryMeter, count_block_touches
 
 WORKER_COUNTS = (1, 2, 4)
-BACKENDS = ("simulated", "inmemory", "file")
+BACKENDS = ("simulated", "inmemory", "file", "mmap")
 METHODS = ("semi-binary", "semi-greedy-core")
 
 #: Shared matrix workload: dense enough to peel several waves, small

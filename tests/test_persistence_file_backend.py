@@ -179,6 +179,47 @@ def test_close_is_idempotent(tmp_path):
     assert device.closed
 
 
+def test_close_releases_spill_file_when_flush_raises(monkeypatch):
+    """A flush that dies mid-close (full disk, yanked mount) must still
+    propagate — but never leak the spill file or its private tmpdir, and
+    a follow-up close() must be a clean no-op."""
+    device = FileBlockDevice(block_size=64, cache_blocks=4)
+    spill_dir = os.path.dirname(device.path)
+    extent = device.allocate("x", 256)
+    device.touch_write(extent, 0, 64)
+    monkeypatch.setattr(
+        type(device), "flush",
+        lambda self: (_ for _ in ()).throw(OSError(28, "No space left")),
+    )
+    with pytest.raises(OSError):
+        device.close()
+    monkeypatch.undo()
+    assert device.closed
+    assert not os.path.exists(spill_dir)
+    device.close()  # still idempotent after the failed attempt
+    assert device.closed
+
+
+def test_close_releases_spill_file_when_fsync_raises(monkeypatch):
+    device = FileBlockDevice(
+        block_size=64, cache_blocks=4, fsync_policy="close"
+    )
+    spill_dir = os.path.dirname(device.path)
+    extent = device.allocate("x", 256)
+    device.touch_write(extent, 0, 64)
+    monkeypatch.setattr(
+        os, "fsync",
+        lambda fd: (_ for _ in ()).throw(OSError(5, "Input/output error")),
+    )
+    with pytest.raises(OSError):
+        device.close()
+    monkeypatch.undo()
+    assert device.closed
+    assert not os.path.exists(spill_dir)
+    device.close()
+    assert device.closed
+
+
 @pytest.mark.parametrize("policy", FSYNC_POLICIES)
 def test_fsync_policies(policy, tmp_path):
     device = FileBlockDevice(
